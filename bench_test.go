@@ -1,0 +1,207 @@
+// Benchmarks regenerating every table and figure of the reconstructed
+// evaluation (DESIGN.md §3). Each BenchmarkXx runs the corresponding
+// experiment at laptop scale; run
+//
+//	go test -bench=. -benchmem
+//
+// and compare the reported rows with EXPERIMENTS.md. Component
+// micro-benchmarks for the hot paths follow the experiment benches.
+package minoaner_test
+
+import (
+	"strings"
+	"testing"
+
+	minoaner "repro"
+	"repro/internal/blocking"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/mapreduce"
+	"repro/internal/match"
+	"repro/internal/metablocking"
+	"repro/internal/parblock"
+	"repro/internal/rdf"
+	"repro/internal/tokenize"
+)
+
+const benchSeed = 2016 // EDBT year; fixed so every run regenerates identical tables
+
+// report runs an experiment once, prints its table under -v, and
+// exposes rows/op-style metrics for regressions.
+func report(b *testing.B, run func() *experiments.Table) {
+	b.Helper()
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = run()
+	}
+	b.StopTimer()
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	b.Log("\n" + sb.String())
+	b.ReportMetric(float64(len(tab.Rows)), "rows")
+}
+
+func BenchmarkF1Pipeline(b *testing.B) {
+	report(b, func() *experiments.Table { return experiments.F1Pipeline(benchSeed, 300) })
+}
+
+func BenchmarkT1Blocking(b *testing.B) {
+	report(b, func() *experiments.Table { return experiments.T1Blocking(benchSeed, []int{200, 400}) })
+}
+
+func BenchmarkT2BlockCleaning(b *testing.B) {
+	report(b, func() *experiments.Table { return experiments.T2BlockCleaning(benchSeed, 400) })
+}
+
+func BenchmarkT3MetaBlocking(b *testing.B) {
+	report(b, func() *experiments.Table { return experiments.T3MetaBlocking(benchSeed, 300) })
+}
+
+func BenchmarkF2Progressive(b *testing.B) {
+	report(b, func() *experiments.Table { return experiments.F2Progressive(benchSeed, 300) })
+}
+
+func BenchmarkF3Benefits(b *testing.B) {
+	report(b, func() *experiments.Table { return experiments.F3Benefits(benchSeed, 300) })
+}
+
+func BenchmarkT4NeighborEvidence(b *testing.B) {
+	report(b, func() *experiments.Table { return experiments.T4NeighborEvidence(benchSeed, 300) })
+}
+
+func BenchmarkT5Parallel(b *testing.B) {
+	report(b, func() *experiments.Table {
+		return experiments.T5Parallel(benchSeed, 400, []int{1, 2, 4, 8})
+	})
+}
+
+func BenchmarkF4Scalability(b *testing.B) {
+	report(b, func() *experiments.Table {
+		return experiments.F4Scalability(benchSeed, []int{100, 200, 400, 800})
+	})
+}
+
+func BenchmarkT6DirtyER(b *testing.B) {
+	report(b, func() *experiments.Table { return experiments.T6DirtyER(benchSeed, 300) })
+}
+
+// --- ablation benches (design choices called out in DESIGN.md) -----
+
+func BenchmarkA1BlockingMethods(b *testing.B) {
+	report(b, func() *experiments.Table { return experiments.A1BlockingMethods(benchSeed, 300) })
+}
+
+func BenchmarkA2NeighborWeight(b *testing.B) {
+	report(b, func() *experiments.Table { return experiments.A2NeighborWeight(benchSeed, 300) })
+}
+
+func BenchmarkA3SchedulerComponents(b *testing.B) {
+	report(b, func() *experiments.Table { return experiments.A3SchedulerComponents(benchSeed, 300) })
+}
+
+func BenchmarkA4SchemeProgressive(b *testing.B) {
+	report(b, func() *experiments.Table { return experiments.A4SchemeProgressive(benchSeed, 300) })
+}
+
+func BenchmarkA5PruningReciprocal(b *testing.B) {
+	report(b, func() *experiments.Table { return experiments.A5PruningReciprocal(benchSeed, 300) })
+}
+
+func BenchmarkA6Clustering(b *testing.B) {
+	report(b, func() *experiments.Table { return experiments.A6Clustering(benchSeed, 300) })
+}
+
+// --- component micro-benchmarks -----------------------------------
+
+func benchWorld(b *testing.B, n int) *datagen.World {
+	b.Helper()
+	w, err := datagen.Generate(datagen.TwoKBs(benchSeed, n, datagen.Center(), datagen.Center()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func BenchmarkTokenBlocking(b *testing.B) {
+	w := benchWorld(b, 1000)
+	opts := tokenize.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blocking.TokenBlocking(w.Collection, opts)
+	}
+}
+
+func BenchmarkMetaBlockingBuild(b *testing.B) {
+	w := benchWorld(b, 600)
+	col := blocking.TokenBlocking(w.Collection, tokenize.Default()).Purge(0).Filter(0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metablocking.Build(col, metablocking.ECBS)
+	}
+}
+
+func BenchmarkPruneWNP(b *testing.B) {
+	w := benchWorld(b, 600)
+	col := blocking.TokenBlocking(w.Collection, tokenize.Default()).Purge(0).Filter(0.8)
+	g := metablocking.Build(col, metablocking.ECBS)
+	opts := metablocking.PruneOptions{Assignments: col.Assignments()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Prune(metablocking.WNP, opts)
+	}
+}
+
+func BenchmarkMatcherValueSim(b *testing.B) {
+	w := benchWorld(b, 400)
+	m := match.NewMatcher(w.Collection, match.DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ValueSim(i%w.Collection.Len(), (i*7+1)%w.Collection.Len())
+	}
+}
+
+func BenchmarkMapReduceWordShuffle(b *testing.B) {
+	w := benchWorld(b, 400)
+	opts := tokenize.Default()
+	cfg := mapreduce.Config{Workers: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parblock.TokenBlocking(w.Collection, opts, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNTriplesDecode(b *testing.B) {
+	w := benchWorld(b, 300)
+	doc, err := rdf.WriteString(w.Triples("alpha"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rdf.ParseString(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	w := benchWorld(b, 300)
+	docA, _ := rdf.WriteString(w.Triples("alpha"))
+	docB, _ := rdf.WriteString(w.Triples("betaKB"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := minoaner.New(minoaner.Defaults())
+		if err := p.LoadKB("alpha", strings.NewReader(docA)); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.LoadKB("betaKB", strings.NewReader(docB)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Resolve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunProfiles(t *testing.T) {
+	for _, profile := range []string{"two", "hard", "cloud", "dirty"} {
+		dir := t.TempDir()
+		err := run([]string{"-profile", profile, "-entities", "40", "-seed", "3", "-out", dir})
+		if err != nil {
+			t.Fatalf("profile %s: %v", profile, err)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := map[string]bool{}
+		for _, e := range entries {
+			names[e.Name()] = true
+		}
+		if !names["truth.nt"] {
+			t.Errorf("profile %s: no truth.nt in %v", profile, names)
+		}
+		wantKBs := map[string]int{"two": 2, "hard": 2, "cloud": 4, "dirty": 1}[profile]
+		if len(names)-1 != wantKBs {
+			t.Errorf("profile %s: %d KB files, want %d (%v)", profile, len(names)-1, wantKBs, names)
+		}
+		// Every emitted file parses as N-Triples (spot check one).
+		for name := range names {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(data) == 0 {
+				t.Errorf("profile %s: %s is empty", profile, name)
+			}
+			break
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-profile", "bogus"}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := run([]string{"-entities", "0"}); err == nil {
+		t.Error("zero entities accepted")
+	}
+}

@@ -1,0 +1,165 @@
+// Command minoaner resolves entities across N-Triples knowledge bases
+// and emits the discovered owl:sameAs links.
+//
+// Usage:
+//
+//	minoaner -kb dbp=dbpedia.nt -kb geo=geonames.nt [-budget N] [-out links.nt]
+//
+// Each -kb flag names one knowledge base and its N-Triples file.
+// With a single KB the run is dirty ER (duplicates within the KB);
+// with several it is clean–clean ER across them. -budget caps the
+// number of comparisons (pay-as-you-go); 0 means run to completion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	minoaner "repro"
+	"repro/internal/blocking"
+	"repro/internal/eval"
+	"repro/internal/kb"
+)
+
+type kbFlags []string
+
+func (k *kbFlags) String() string { return strings.Join(*k, ",") }
+
+func (k *kbFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*k = append(*k, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "minoaner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("minoaner", flag.ContinueOnError)
+	var kbs kbFlags
+	fs.Var(&kbs, "kb", "knowledge base as name=path.nt (repeatable)")
+	budget := fs.Int("budget", 0, "comparison budget (0 = unlimited)")
+	out := fs.String("out", "", "write owl:sameAs links to this file (default stdout)")
+	workers := fs.Int("workers", 0, "MapReduce workers for blocking/meta-blocking (0/1 = sequential)")
+	verbose := fs.Bool("v", false, "print per-match lines to stderr")
+	truth := fs.String("truth", "", "owl:sameAs ground-truth file: report precision/recall instead of links")
+	clustering := fs.String("clustering", "closure", "final clustering: closure | center | unique")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(kbs) == 0 {
+		fs.Usage()
+		return fmt.Errorf("at least one -kb required")
+	}
+
+	cfg := minoaner.Defaults()
+	cfg.Workers = *workers
+	switch *clustering {
+	case "closure":
+		cfg.Clustering = minoaner.TransitiveClosure
+	case "center":
+		cfg.Clustering = minoaner.CenterClustering
+	case "unique":
+		cfg.Clustering = minoaner.UniqueMappingClustering
+	default:
+		return fmt.Errorf("unknown -clustering %q (want closure, center, or unique)", *clustering)
+	}
+	p := minoaner.New(cfg)
+	for _, spec := range kbs {
+		name, path, _ := strings.Cut(spec, "=")
+		if err := p.LoadKBFile(name, path); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s from %s\n", name, path)
+	}
+
+	res, err := p.ResolveBudget(*budget)
+	if err != nil {
+		return err
+	}
+	s := res.Stats
+	fmt.Fprintf(os.Stderr,
+		"descriptions=%d kbs=%d brute=%d blocks=%d candidates=%d pruned=%d comparisons=%d discovered=%d matches=%d clusters=%d\n",
+		s.Descriptions, s.KBs, s.BruteForce, s.Blocks, s.BlockCandidates,
+		s.PrunedEdges, s.Comparisons, s.DiscoveredCmps, s.Matches, len(res.Clusters))
+	if *verbose {
+		for _, m := range res.Matches {
+			tag := ""
+			if m.Discovered {
+				tag = " (discovered)"
+			}
+			fmt.Fprintf(os.Stderr, "match %.3f %s == %s%s\n", m.Score, m.A.URI, m.B.URI, tag)
+		}
+	}
+
+	if *truth != "" {
+		return evaluate(res, kbs, *truth)
+	}
+
+	links := res.SameAs()
+	if *out == "" {
+		fmt.Print(links)
+		return nil
+	}
+	if err := os.WriteFile(*out, []byte(links), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d links to %s\n", len(res.Matches), *out)
+	return nil
+}
+
+// evaluate reloads the KBs into an id-addressed collection, reads the
+// owl:sameAs ground truth, and scores the pipeline's matches.
+func evaluate(res *minoaner.Result, kbs kbFlags, truthPath string) error {
+	c := kb.NewCollection()
+	for _, spec := range kbs {
+		name, path, _ := strings.Cut(spec, "=")
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		var lerr error
+		if strings.HasSuffix(path, ".ttl") || strings.HasSuffix(path, ".turtle") {
+			lerr = c.LoadTurtle(name, f)
+		} else {
+			lerr = c.Load(name, f)
+		}
+		f.Close()
+		if lerr != nil {
+			return lerr
+		}
+	}
+	tf, err := os.Open(truthPath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	g := kb.NewGroundTruth()
+	missing, err := g.ParseSameAs(c, tf)
+	if err != nil {
+		return err
+	}
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d ground-truth links reference unknown descriptions\n", missing)
+	}
+	var pred []blocking.Pair
+	for _, m := range res.Matches {
+		a, okA := c.IDOf(m.A.KB, m.A.URI)
+		b, okB := c.IDOf(m.B.KB, m.B.URI)
+		if !okA || !okB {
+			return fmt.Errorf("match references unknown description %s / %s", m.A.URI, m.B.URI)
+		}
+		pred = append(pred, blocking.MakePair(a, b))
+	}
+	q := eval.EvaluateMatches(c, g, pred)
+	fmt.Println(q)
+	return nil
+}

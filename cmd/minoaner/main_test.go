@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testKBa = `<http://a/x> <http://a/name> "turing award" .
+<http://a/y> <http://a/name> "church prize" .
+`
+
+const testKBb = `<http://b/x> <http://b/label> "turing award" .
+<http://b/y> <http://b/label> "unrelated thing" .
+`
+
+func writeFiles(t *testing.T) (string, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.nt")
+	b := filepath.Join(dir, "b.nt")
+	if err := os.WriteFile(a, []byte(testKBa), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte(testKBb), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, a, b
+}
+
+func TestRunWritesLinks(t *testing.T) {
+	dir, a, b := writeFiles(t)
+	out := filepath.Join(dir, "links.nt")
+	err := run([]string{"-kb", "a=" + a, "-kb", "b=" + b, "-out", out, "-v"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "owl#sameAs") {
+		t.Errorf("output lacks sameAs links:\n%s", data)
+	}
+	if !strings.Contains(string(data), "<http://a/x>") {
+		t.Errorf("turing pair not linked:\n%s", data)
+	}
+}
+
+func TestRunTruthMode(t *testing.T) {
+	dir, a, b := writeFiles(t)
+	truth := filepath.Join(dir, "truth.nt")
+	err := os.WriteFile(truth,
+		[]byte(`<http://a/x> <http://www.w3.org/2002/07/owl#sameAs> <http://b/x> .`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kb", "a=" + a, "-kb", "b=" + b, "-truth", truth}); err != nil {
+		t.Fatalf("run with -truth: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no -kb accepted")
+	}
+	if err := run([]string{"-kb", "noequals"}); err == nil {
+		t.Error("malformed -kb accepted")
+	}
+	if err := run([]string{"-kb", "a=/nonexistent/path.nt"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	_, a, b := writeFiles(t)
+	if err := run([]string{"-kb", "a=" + a, "-kb", "b=" + b, "-truth", "/nonexistent"}); err == nil {
+		t.Error("missing truth file accepted")
+	}
+}
+
+func TestRunClusteringFlag(t *testing.T) {
+	_, a, b := writeFiles(t)
+	out := filepath.Join(t.TempDir(), "links.nt")
+	for _, mode := range []string{"closure", "center", "unique"} {
+		if err := run([]string{"-kb", "a=" + a, "-kb", "b=" + b, "-clustering", mode, "-out", out}); err != nil {
+			t.Fatalf("clustering %s: %v", mode, err)
+		}
+	}
+	if err := run([]string{"-kb", "a=" + a, "-clustering", "bogus"}); err == nil {
+		t.Error("unknown clustering accepted")
+	}
+}
+
+func TestRunWorkers(t *testing.T) {
+	_, a, b := writeFiles(t)
+	out := filepath.Join(t.TempDir(), "links.nt")
+	if err := run([]string{"-kb", "a=" + a, "-kb", "b=" + b, "-workers", "4", "-out", out}); err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+}

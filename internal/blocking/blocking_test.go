@@ -1,0 +1,317 @@
+package blocking
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/kb"
+	"repro/internal/tokenize"
+)
+
+// twoKB builds a tiny clean-clean collection with known token overlap.
+func twoKB() *kb.Collection {
+	c := kb.NewCollection()
+	c.Add(&kb.Description{URI: "http://a.org/x1", KB: "a",
+		Attrs: []kb.Attribute{{Predicate: "p", Value: "alpha beta"}}})
+	c.Add(&kb.Description{URI: "http://a.org/x2", KB: "a",
+		Attrs: []kb.Attribute{{Predicate: "p", Value: "gamma"}}})
+	c.Add(&kb.Description{URI: "http://b.org/y1", KB: "b",
+		Attrs: []kb.Attribute{{Predicate: "q", Value: "alpha delta"}}})
+	c.Add(&kb.Description{URI: "http://b.org/y2", KB: "b",
+		Attrs: []kb.Attribute{{Predicate: "q", Value: "gamma beta"}}})
+	return c
+}
+
+func TestTokenBlockingBasic(t *testing.T) {
+	col := TokenBlocking(twoKB(), tokenize.Default())
+	if !col.CleanClean {
+		t.Error("two KBs should be clean-clean")
+	}
+	byKey := map[string][]int{}
+	for _, b := range col.Blocks {
+		byKey[b.Key] = b.Entities
+	}
+	// "alpha" blocks x1(0) and y1(2); "beta" blocks 0 and 3; "gamma" 1 and 3.
+	if got := byKey["alpha"]; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("alpha block = %v", got)
+	}
+	if got := byKey["beta"]; len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("beta block = %v", got)
+	}
+	// "delta" appears once: no block.
+	if _, ok := byKey["delta"]; ok {
+		t.Error("singleton token produced a block")
+	}
+	// Blocks are sorted by key.
+	keys := make([]string, 0, len(col.Blocks))
+	for _, b := range col.Blocks {
+		keys = append(keys, b.Key)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Errorf("blocks not key-sorted: %v", keys)
+	}
+}
+
+func TestTokenBlockingDropsSameKBOnlyBlocks(t *testing.T) {
+	c := kb.NewCollection()
+	c.Add(&kb.Description{URI: "u1", KB: "a", Attrs: []kb.Attribute{{Predicate: "p", Value: "shared"}}})
+	c.Add(&kb.Description{URI: "u2", KB: "a", Attrs: []kb.Attribute{{Predicate: "p", Value: "shared"}}})
+	c.Add(&kb.Description{URI: "u3", KB: "b", Attrs: []kb.Attribute{{Predicate: "p", Value: "other"}}})
+	col := TokenBlocking(c, tokenize.Default())
+	for _, b := range col.Blocks {
+		if b.Key == "shared" {
+			t.Error("clean-clean blocking kept a same-KB-only block")
+		}
+	}
+}
+
+func TestBlockComparisons(t *testing.T) {
+	c := twoKB()
+	b := Block{Key: "k", Entities: []int{0, 1, 2, 3}} // 2 from each KB
+	if got := b.Comparisons(c, false); got != 6 {
+		t.Errorf("dirty comparisons=%d, want 6", got)
+	}
+	if got := b.Comparisons(c, true); got != 4 {
+		t.Errorf("clean-clean comparisons=%d, want 4", got)
+	}
+	if got := b.Comparisons(nil, true); got != 6 {
+		t.Errorf("nil collection should count all pairs, got %d", got)
+	}
+}
+
+func TestDistinctPairs(t *testing.T) {
+	col := TokenBlocking(twoKB(), tokenize.Default())
+	pairs := col.DistinctPairs()
+	want := map[Pair]bool{{A: 0, B: 2}: true, {A: 0, B: 3}: true, {A: 1, B: 3}: true}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs=%v, want %v", pairs, want)
+	}
+	for _, p := range pairs {
+		if !want[p] {
+			t.Errorf("unexpected pair %v", p)
+		}
+		if p.A >= p.B {
+			t.Errorf("pair %v not normalized", p)
+		}
+	}
+}
+
+func TestEntityIndex(t *testing.T) {
+	col := TokenBlocking(twoKB(), tokenize.Default())
+	idx := col.EntityIndex()
+	if len(idx) != 4 {
+		t.Fatalf("index size %d", len(idx))
+	}
+	// Every listed block must actually contain the entity.
+	for e, blocks := range idx {
+		for _, bi := range blocks {
+			found := false
+			for _, id := range col.Blocks[bi].Entities {
+				if id == e {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("entity %d listed in block %d that lacks it", e, bi)
+			}
+		}
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := kb.NewCollection()
+	// "common" appears in 6 descriptions; "rare" in 2.
+	for i := 0; i < 3; i++ {
+		c.Add(&kb.Description{URI: string(rune('a' + i)), KB: "a",
+			Attrs: []kb.Attribute{{Predicate: "p", Value: "common"}}})
+		c.Add(&kb.Description{URI: string(rune('x' + i)), KB: "b",
+			Attrs: []kb.Attribute{{Predicate: "p", Value: "common"}}})
+	}
+	c.Add(&kb.Description{URI: "r1", KB: "a", Attrs: []kb.Attribute{{Predicate: "p", Value: "rare"}}})
+	c.Add(&kb.Description{URI: "r2", KB: "b", Attrs: []kb.Attribute{{Predicate: "p", Value: "rare"}}})
+	col := TokenBlocking(c, tokenize.Default())
+	purged := col.Purge(3)
+	for _, b := range purged.Blocks {
+		if b.Size() > 3 {
+			t.Errorf("block %q size %d survived purge(3)", b.Key, b.Size())
+		}
+	}
+	if purged.NumBlocks() != 1 || purged.Blocks[0].Key != "rare" {
+		t.Errorf("purge kept %v", purged.Blocks)
+	}
+	// Original untouched.
+	if col.NumBlocks() != 2 {
+		t.Error("Purge mutated its receiver")
+	}
+}
+
+func TestAutoPurge(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(1, 300, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := TokenBlocking(w.Collection, tokenize.Default())
+	size := col.AutoPurgeSize()
+	if size <= 1 {
+		t.Fatalf("AutoPurgeSize=%d", size)
+	}
+	purged := col.Purge(0)
+	if purged.TotalComparisons() > col.TotalComparisons() {
+		t.Error("purging increased comparisons")
+	}
+	if purged.NumBlocks() == 0 {
+		t.Error("purging removed every block")
+	}
+}
+
+func TestAutoPurgeEmpty(t *testing.T) {
+	col := &Collection{Source: kb.NewCollection()}
+	if got := col.AutoPurgeSize(); got != 0 {
+		t.Errorf("empty AutoPurgeSize=%d", got)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(2, 200, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := TokenBlocking(w.Collection, tokenize.Default())
+	filtered := col.Filter(0.5)
+	if filtered.TotalComparisons() >= col.TotalComparisons() {
+		t.Errorf("filter(0.5) comparisons %d !< %d", filtered.TotalComparisons(), col.TotalComparisons())
+	}
+	// Each entity appears in at most ceil(0.5*original) blocks.
+	before := col.EntityIndex()
+	after := filtered.EntityIndex()
+	for e := range after {
+		if len(before[e]) == 0 {
+			continue
+		}
+		limit := (len(before[e]) + 1) / 2
+		if len(after[e]) > limit {
+			t.Errorf("entity %d in %d blocks after filter, limit %d", e, len(after[e]), limit)
+		}
+	}
+	// Invalid ratio falls back to 0.8 without panicking.
+	if def := col.Filter(0); def.NumBlocks() == 0 {
+		t.Error("default-ratio filter removed everything")
+	}
+}
+
+func TestAttributeClustering(t *testing.T) {
+	c := kb.NewCollection()
+	// KB a: name + city. KB b: title + place. name≈title, city≈place by values.
+	c.Add(&kb.Description{URI: "a1", KB: "a", Attrs: []kb.Attribute{
+		{Predicate: "name", Value: "turing prize"}, {Predicate: "city", Value: "london"}}})
+	c.Add(&kb.Description{URI: "a2", KB: "a", Attrs: []kb.Attribute{
+		{Predicate: "name", Value: "church award"}, {Predicate: "city", Value: "paris"}}})
+	c.Add(&kb.Description{URI: "b1", KB: "b", Attrs: []kb.Attribute{
+		{Predicate: "title", Value: "turing prize"}, {Predicate: "place", Value: "london"}}})
+	// "london" the publisher: must NOT block with city london.
+	c.Add(&kb.Description{URI: "b2", KB: "b", Attrs: []kb.Attribute{
+		{Predicate: "title", Value: "london calling"}, {Predicate: "place", Value: "madrid"}}})
+	col := AttributeClustering(c, tokenize.Default())
+
+	pairs := map[Pair]bool{}
+	for _, p := range col.DistinctPairs() {
+		pairs[p] = true
+	}
+	if !pairs[MakePair(0, 2)] {
+		t.Error("a1-b1 (turing/london) not blocked")
+	}
+	// Plain token blocking WOULD pair a1 with b2 via "london"; attribute
+	// clustering must separate city-london from title-london.
+	if pairs[MakePair(0, 3)] {
+		t.Error("attribute clustering failed to separate london-as-city from london-as-title")
+	}
+}
+
+func TestAttributeClusteringSingleKB(t *testing.T) {
+	// With one KB no cross-KB attribute matches exist: everything goes
+	// to the glue cluster and behaves like token blocking.
+	c := kb.NewCollection()
+	c.Add(&kb.Description{URI: "u1", KB: "k", Attrs: []kb.Attribute{{Predicate: "p", Value: "alpha"}}})
+	c.Add(&kb.Description{URI: "u2", KB: "k", Attrs: []kb.Attribute{{Predicate: "q", Value: "alpha"}}})
+	col := AttributeClustering(c, tokenize.Default())
+	if col.NumBlocks() != 1 {
+		t.Fatalf("blocks=%d, want 1 glue block", col.NumBlocks())
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	col := TokenBlocking(twoKB(), tokenize.Default())
+	s := col.Stats()
+	if s.Blocks != col.NumBlocks() || s.Comparisons != col.TotalComparisons() {
+		t.Errorf("stats %+v inconsistent", s)
+	}
+	if s.String() == "" {
+		t.Error("empty Stats.String")
+	}
+}
+
+// Property: block membership is symmetric evidence — for every distinct
+// pair (a,b) there exists a block containing both; and no pair violates
+// the clean-clean restriction.
+func TestDistinctPairsSound(t *testing.T) {
+	f := func(seed int64) bool {
+		w, err := datagen.Generate(datagen.TwoKBs(seed, 40, datagen.Periphery(), datagen.Center()))
+		if err != nil {
+			return false
+		}
+		col := TokenBlocking(w.Collection, tokenize.Default())
+		idx := col.EntityIndex()
+		for _, p := range col.DistinctPairs() {
+			if !w.Collection.CrossKB(p.A, p.B) {
+				return false
+			}
+			shared := false
+			for _, ba := range idx[p.A] {
+				for _, bb := range idx[p.B] {
+					if ba == bb {
+						shared = true
+					}
+				}
+			}
+			if !shared {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: purging and filtering only ever shrink the comparison cost
+// and never invent new pairs.
+func TestCleaningMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		w, err := datagen.Generate(datagen.TwoKBs(seed, 60, datagen.Center(), datagen.Periphery()))
+		if err != nil {
+			return false
+		}
+		col := TokenBlocking(w.Collection, tokenize.Default())
+		basePairs := map[Pair]bool{}
+		for _, p := range col.DistinctPairs() {
+			basePairs[p] = true
+		}
+		for _, derived := range []*Collection{col.Purge(0), col.Filter(0.8), col.Purge(0).Filter(0.8)} {
+			if derived.TotalComparisons() > col.TotalComparisons() {
+				return false
+			}
+			for _, p := range derived.DistinctPairs() {
+				if !basePairs[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package blocking
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/kb"
+	"repro/internal/tokenize"
+)
+
+func TestSortedNeighborhoodBasic(t *testing.T) {
+	c := twoKB() // alpha beta | gamma | alpha delta | gamma beta
+	col := SortedNeighborhood(c, tokenize.Default(), 2)
+	if col.NumBlocks() == 0 {
+		t.Fatal("no windows produced")
+	}
+	// Window 2 over sorted (token, id) pairs must put the two "alpha"
+	// holders (0 and 2) together.
+	pairs := map[Pair]bool{}
+	for _, p := range col.DistinctPairs() {
+		pairs[p] = true
+	}
+	if !pairs[MakePair(0, 2)] {
+		t.Errorf("alpha pair missing: %v", pairs)
+	}
+	for p := range pairs {
+		if !c.CrossKB(p.A, p.B) {
+			t.Errorf("same-KB pair %v in clean-clean setting", p)
+		}
+	}
+}
+
+func TestSortedNeighborhoodWindowBoundsCost(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(71, 300, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := tokenize.Default()
+	tok := TokenBlocking(w.Collection, opts)
+	sn := SortedNeighborhood(w.Collection, opts, 4)
+	tokPairs := len(tok.DistinctPairs())
+	snPairs := len(sn.DistinctPairs())
+	if snPairs >= tokPairs {
+		t.Errorf("sorted neighborhood (%d pairs) should cost less than token blocking (%d)",
+			snPairs, tokPairs)
+	}
+	// And it must still find most of the matches.
+	found := 0
+	for _, p := range sn.DistinctPairs() {
+		if w.Truth.Match(p.A, p.B) {
+			found++
+		}
+	}
+	pc := float64(found) / float64(w.Truth.CrossKBMatchingPairs(w.Collection))
+	if pc < 0.7 {
+		t.Errorf("window=4 PC=%.3f too low", pc)
+	}
+	// Wider windows only add candidates.
+	sn6 := SortedNeighborhood(w.Collection, opts, 6)
+	if len(sn6.DistinctPairs()) < snPairs {
+		t.Error("wider window produced fewer candidates")
+	}
+}
+
+func TestSortedNeighborhoodMinWindow(t *testing.T) {
+	c := twoKB()
+	col := SortedNeighborhood(c, tokenize.Default(), 0) // clamped to 2
+	if col.NumBlocks() == 0 {
+		t.Fatal("clamped window produced nothing")
+	}
+}
+
+func TestSortedNeighborhoodEmpty(t *testing.T) {
+	col := SortedNeighborhood(kb.NewCollection(), tokenize.Default(), 3)
+	if col.NumBlocks() != 0 {
+		t.Errorf("empty collection gave %d blocks", col.NumBlocks())
+	}
+}

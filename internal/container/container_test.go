@@ -1,0 +1,338 @@
+package container
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind(5)
+	if u.Len() != 5 || u.Sets() != 5 {
+		t.Fatalf("Len=%d Sets=%d, want 5,5", u.Len(), u.Sets())
+	}
+	if !u.Union(0, 1) {
+		t.Error("first union reported no merge")
+	}
+	if u.Union(1, 0) {
+		t.Error("repeated union reported a merge")
+	}
+	if !u.Same(0, 1) || u.Same(0, 2) {
+		t.Error("Same wrong after union")
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	if u.Sets() != 2 {
+		t.Errorf("Sets=%d, want 2", u.Sets())
+	}
+	if u.SetSize(1) != 4 {
+		t.Errorf("SetSize=%d, want 4", u.SetSize(1))
+	}
+	if u.SetSize(4) != 1 {
+		t.Errorf("singleton SetSize=%d, want 1", u.SetSize(4))
+	}
+}
+
+func TestUnionFindGrow(t *testing.T) {
+	u := NewUnionFind(2)
+	u.Union(0, 1)
+	u.Grow(4)
+	if u.Len() != 4 || u.Sets() != 3 {
+		t.Fatalf("after grow Len=%d Sets=%d, want 4,3", u.Len(), u.Sets())
+	}
+	u.Grow(2) // shrink is a no-op
+	if u.Len() != 4 {
+		t.Errorf("shrink changed Len to %d", u.Len())
+	}
+	if !u.Same(0, 1) {
+		t.Error("grow lost existing union")
+	}
+}
+
+func TestUnionFindComponents(t *testing.T) {
+	u := NewUnionFind(6)
+	u.Union(4, 2)
+	u.Union(2, 0)
+	u.Union(5, 3)
+	comps := u.Components(2)
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2: %v", len(comps), comps)
+	}
+	// Ordered by smallest member; members ascending.
+	want0, want1 := []int{0, 2, 4}, []int{3, 5}
+	if !equalInts(comps[0], want0) || !equalInts(comps[1], want1) {
+		t.Errorf("components = %v, want [%v %v]", comps, want0, want1)
+	}
+	all := u.Components(1)
+	if len(all) != 3 {
+		t.Errorf("minSize=1 gave %d components, want 3", len(all))
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: after any sequence of unions, Sets() equals n minus the
+// number of effective merges, and Same is an equivalence relation
+// consistent with a naive reference implementation.
+func TestUnionFindMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		u := NewUnionFind(n)
+		ref := make([]int, n) // naive labels
+		for i := range ref {
+			ref[i] = i
+		}
+		merges := 0
+		for k := 0; k < 3*n; k++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			got := u.Union(x, y)
+			want := ref[x] != ref[y]
+			if got != want {
+				return false
+			}
+			if want {
+				merges++
+				old, nw := ref[x], ref[y]
+				for i := range ref {
+					if ref[i] == old {
+						ref[i] = nw
+					}
+				}
+			}
+		}
+		if u.Sets() != n-merges {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			if u.Same(x, y) != (ref[x] == ref[y]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	h := NewHeap(func(a, b int) bool { return a < b })
+	if _, ok := h.Pop(); ok {
+		t.Error("Pop on empty heap reported ok")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Error("Peek on empty heap reported ok")
+	}
+	for _, v := range []int{5, 1, 4, 1, 5, 9, 2, 6} {
+		h.Push(v)
+	}
+	if top, _ := h.Peek(); top != 1 {
+		t.Errorf("Peek=%d, want 1", top)
+	}
+	want := []int{1, 1, 2, 4, 5, 5, 6, 9}
+	for i, w := range want {
+		v, ok := h.Pop()
+		if !ok || v != w {
+			t.Fatalf("Pop %d = %d,%v, want %d", i, v, ok, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Errorf("Len=%d after draining", h.Len())
+	}
+}
+
+func TestHeapReset(t *testing.T) {
+	h := NewHeap(func(a, b int) bool { return a < b })
+	h.Push(3)
+	h.Push(1)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len=%d after Reset", h.Len())
+	}
+	h.Push(7)
+	if v, _ := h.Pop(); v != 7 {
+		t.Errorf("heap unusable after Reset: got %d", v)
+	}
+}
+
+// Property: heap drains any random input in sorted order.
+func TestHeapSortsProperty(t *testing.T) {
+	f := func(xs []int) bool {
+		h := NewHeap(func(a, b int) bool { return a < b })
+		for _, x := range xs {
+			h.Push(x)
+		}
+		var got []int
+		for {
+			v, ok := h.Pop()
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		if len(got) != len(xs) {
+			return false
+		}
+		return sort.IntsAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedTopK(t *testing.T) {
+	tk := NewBoundedTopK(3, func(a, b float64) bool { return a < b })
+	for _, v := range []float64{0.1, 0.9, 0.5, 0.7, 0.3, 0.8} {
+		tk.Offer(v)
+	}
+	if tk.Len() != 3 {
+		t.Fatalf("Len=%d, want 3", tk.Len())
+	}
+	if thr, _ := tk.Threshold(); thr != 0.7 {
+		t.Errorf("Threshold=%v, want 0.7", thr)
+	}
+	got := tk.Drain()
+	want := []float64{0.7, 0.8, 0.9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Drain=%v, want %v", got, want)
+		}
+	}
+}
+
+func TestBoundedTopKZeroK(t *testing.T) {
+	tk := NewBoundedTopK(0, func(a, b int) bool { return a < b })
+	tk.Offer(1)
+	if tk.Len() != 0 {
+		t.Errorf("k=0 retained %d items", tk.Len())
+	}
+}
+
+// Property: BoundedTopK retains exactly the k largest values.
+func TestBoundedTopKProperty(t *testing.T) {
+	f := func(xs []int, k8 uint8) bool {
+		k := int(k8%10) + 1
+		tk := NewBoundedTopK(k, func(a, b int) bool { return a < b })
+		for _, x := range xs {
+			tk.Offer(x)
+		}
+		got := tk.Drain()
+		sorted := append([]int(nil), xs...)
+		sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+		if k > len(sorted) {
+			k = len(sorted)
+		}
+		want := append([]int(nil), sorted[:k]...)
+		sort.Ints(want)
+		return equalInts(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseSet(t *testing.T) {
+	s := NewSparseSet(10)
+	if s.Capacity() != 10 || s.Len() != 0 {
+		t.Fatalf("fresh set Cap=%d Len=%d", s.Capacity(), s.Len())
+	}
+	if !s.Add(3) || !s.Add(7) || s.Add(3) {
+		t.Error("Add return values wrong")
+	}
+	if !s.Contains(3) || !s.Contains(7) || s.Contains(4) {
+		t.Error("Contains wrong")
+	}
+	if s.Contains(-1) || s.Contains(100) {
+		t.Error("out-of-range Contains should be false")
+	}
+	if got := s.Sorted(); !equalInts(got, []int{3, 7}) {
+		t.Errorf("Sorted=%v", got)
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Contains(3) {
+		t.Error("Clear did not empty the set")
+	}
+	// Reuse after clear: stale sparse entries must not cause false positives.
+	if !s.Add(7) || s.Contains(3) {
+		t.Error("stale entry visible after Clear")
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := NewBitset(130)
+	if b.Len() != 130 || b.Count() != 0 {
+		t.Fatalf("fresh bitset Len=%d Count=%d", b.Len(), b.Count())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if !b.Test(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Test(1) || b.Test(128) {
+		t.Error("unset bit reads as set")
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count=%d, want 4", b.Count())
+	}
+	b.Clear(64)
+	if b.Test(64) || b.Count() != 3 {
+		t.Error("Clear failed")
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Errorf("Count=%d after Reset", b.Count())
+	}
+}
+
+// Property: SparseSet agrees with map[int]bool under random ops.
+func TestSparseSetMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const capacity = 50
+		s := NewSparseSet(capacity)
+		ref := make(map[int]bool)
+		for op := 0; op < 300; op++ {
+			v := rng.Intn(capacity)
+			switch rng.Intn(3) {
+			case 0:
+				added := s.Add(v)
+				if added == ref[v] {
+					return false
+				}
+				ref[v] = true
+			case 1:
+				if s.Contains(v) != ref[v] {
+					return false
+				}
+			case 2:
+				if rng.Intn(10) == 0 {
+					s.Clear()
+					ref = make(map[int]bool)
+				}
+			}
+			if s.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

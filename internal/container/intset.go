@@ -1,0 +1,104 @@
+package container
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// SparseSet is an integer set over a bounded universe [0, cap) with O(1)
+// insert, membership, and clear. Blocking uses one as a scratch set when
+// intersecting block contents: Clear is constant-time, so the same set
+// can be reused across millions of block intersections without
+// reallocating.
+type SparseSet struct {
+	dense  []int32 // members, in insertion order
+	sparse []int32 // sparse[v] = index of v in dense, if member
+}
+
+// NewSparseSet returns an empty set over the universe [0, capacity).
+func NewSparseSet(capacity int) *SparseSet {
+	return &SparseSet{sparse: make([]int32, capacity)}
+}
+
+// Len returns the number of members.
+func (s *SparseSet) Len() int { return len(s.dense) }
+
+// Capacity returns the universe size.
+func (s *SparseSet) Capacity() int { return len(s.sparse) }
+
+// Add inserts v, reporting whether it was newly added.
+// v must be in [0, Capacity()).
+func (s *SparseSet) Add(v int) bool {
+	if s.Contains(v) {
+		return false
+	}
+	s.sparse[v] = int32(len(s.dense))
+	s.dense = append(s.dense, int32(v))
+	return true
+}
+
+// Contains reports membership of v. Out-of-range v is simply absent.
+func (s *SparseSet) Contains(v int) bool {
+	if v < 0 || v >= len(s.sparse) {
+		return false
+	}
+	i := s.sparse[v]
+	return int(i) < len(s.dense) && s.dense[i] == int32(v)
+}
+
+// Clear empties the set in O(1).
+func (s *SparseSet) Clear() { s.dense = s.dense[:0] }
+
+// Members returns the members in insertion order. The returned slice is
+// valid until the next mutation.
+func (s *SparseSet) Members() []int32 { return s.dense }
+
+// Sorted returns the members as a fresh ascending []int.
+func (s *SparseSet) Sorted() []int {
+	out := make([]int, len(s.dense))
+	for i, v := range s.dense {
+		out[i] = int(v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Bitset is a fixed-size bit vector. The blocking graph uses bitsets to
+// deduplicate candidate pairs per node without hashing.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an all-zero bitset of n bits.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports bit i.
+func (b *Bitset) Test(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Reset zeroes all bits.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}

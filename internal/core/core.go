@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blocking"
+	"repro/internal/container"
+	"repro/internal/match"
+	"repro/internal/metablocking"
+)
+
+// Config tunes the progressive resolver.
+type Config struct {
+	// Budget is the maximum number of comparisons to execute
+	// (0 = unlimited: run until the queue drains).
+	Budget int
+	// Benefit selects the targeted benefit model
+	// (nil = AttributeCompleteness, the paper's headline model).
+	Benefit BenefitModel
+	// NeighborBoost is the priority added to a queued or discovered
+	// pair each time a pair of its neighbors is resolved (default 0.4).
+	NeighborBoost float64
+	// BiasWeight scales the benefit model's scheduling bias relative
+	// to the evidence weight (default 0.25).
+	BiasWeight float64
+	// DisableDiscovery stops the update phase from enqueuing
+	// comparisons that blocking never proposed (between neighbors of a
+	// confirmed match). Discovery is on by default; it is what recovers
+	// somehow-similar periphery matches.
+	DisableDiscovery bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Benefit == nil {
+		c.Benefit = AttributeCompleteness{}
+	}
+	if c.NeighborBoost == 0 {
+		c.NeighborBoost = 0.4
+	}
+	if c.BiasWeight == 0 {
+		c.BiasWeight = 0.25
+	}
+	return c
+}
+
+// Step records one executed comparison.
+type Step struct {
+	A, B int
+	// Score is the combined match score at execution time.
+	Score float64
+	// Matched reports whether the pair cleared the threshold.
+	Matched bool
+	// Merged reports whether the match united two distinct clusters.
+	Merged bool
+	// Discovered reports whether the pair came from neighbor-evidence
+	// discovery rather than from blocking.
+	Discovered bool
+	// Recheck reports whether this is a re-examination of a pair that
+	// failed earlier and has since gained neighbor evidence.
+	Recheck bool
+	// Gain is the targeted benefit realized by this step.
+	Gain float64
+}
+
+// StepInfo reports the step's pair, score, and outcome; it satisfies
+// internal/cluster's StepLike so traces feed the clusterers directly.
+func (s Step) StepInfo() (int, int, float64, bool) {
+	return s.A, s.B, s.Score, s.Matched
+}
+
+// Result summarizes a progressive run.
+type Result struct {
+	// Trace lists every executed comparison in order.
+	Trace []Step
+	// Clusters is the final resolution state.
+	Clusters *match.Clusters
+	// Comparisons executed (== len(Trace)).
+	Comparisons int
+	// Matches confirmed (cluster-merging or not).
+	Matches int
+	// Discovered counts executed comparisons that blocking missed.
+	Discovered int
+	// Rechecks counts re-examinations triggered by new neighbor
+	// evidence on previously failed pairs.
+	Rechecks int
+	// TotalGain is the cumulative targeted benefit.
+	TotalGain float64
+}
+
+// MatchedPairs returns the distinct matched pairs implied by the final
+// clusters (transitive closure), restricted to cross-KB pairs when the
+// collection spans several KBs.
+func (r *Result) MatchedPairs(m *match.Matcher) []blocking.Pair {
+	col := m.Collection()
+	cross := col.NumKBs() > 1
+	raw := r.Clusters.Pairs(col, cross)
+	out := make([]blocking.Pair, len(raw))
+	for i, p := range raw {
+		out[i] = blocking.Pair{A: p[0], B: p[1]}
+	}
+	return out
+}
+
+// Resolver runs the progressive schedule → match → update loop.
+type Resolver struct {
+	matcher *match.Matcher
+	cfg     Config
+
+	heap   *container.Heap[entry]
+	states map[blocking.Pair]*pairState
+	cl     *match.Clusters
+	maxW   float64
+}
+
+type entry struct {
+	pair blocking.Pair
+	prio float64
+}
+
+type pairState struct {
+	base       float64 // normalized meta-blocking weight
+	boost      float64 // accumulated neighbor-evidence priority
+	done       bool
+	discovered bool // true when blocking never proposed this pair
+	recheck    bool // re-opened by neighbor evidence after failing
+}
+
+// NewResolver prepares a progressive run over the pruned comparison
+// list from meta-blocking. Edges should be the output of Graph.Prune
+// (any order; the scheduler orders them).
+func NewResolver(m *match.Matcher, edges []metablocking.Edge, cfg Config) *Resolver {
+	cfg = cfg.withDefaults()
+	r := &Resolver{
+		matcher: m,
+		cfg:     cfg,
+		heap:    container.NewHeap(func(a, b entry) bool { return a.prio > b.prio }), // max-heap
+		states:  make(map[blocking.Pair]*pairState, len(edges)),
+		cl:      match.NewClustersFor(m.Collection()),
+	}
+	for _, e := range edges {
+		if e.Weight > r.maxW {
+			r.maxW = e.Weight
+		}
+	}
+	if r.maxW == 0 {
+		r.maxW = 1
+	}
+	for _, e := range edges {
+		p := blocking.MakePair(e.A, e.B)
+		if _, dup := r.states[p]; dup {
+			continue
+		}
+		st := &pairState{base: e.Weight / r.maxW}
+		r.states[p] = st
+		r.heap.Push(entry{pair: p, prio: r.priority(p, st)})
+	}
+	return r
+}
+
+// priority computes a pair's current scheduling priority.
+func (r *Resolver) priority(p blocking.Pair, st *pairState) float64 {
+	return st.base + st.boost + r.cfg.BiasWeight*r.cfg.Benefit.Bias(p.A, p.B, r.cl, r.matcher)
+}
+
+// Clusters exposes the current resolution state (live during Run).
+func (r *Resolver) Clusters() *match.Clusters { return r.cl }
+
+// Pending returns the number of queued (not yet executed) comparisons.
+// Stale heap entries may inflate the count; it is an upper bound.
+func (r *Resolver) Pending() int { return r.heap.Len() }
+
+// Run executes the progressive loop until the budget is exhausted or
+// the queue drains, returning the trace of this call. The resolver
+// keeps its state: calling Run again continues the same pay-as-you-go
+// session with a fresh budget, exactly as the paper's "until the cost
+// budget is consumed" loop resumes when more budget arrives. Traces of
+// successive calls concatenate to the trace of one larger-budget run.
+func (r *Resolver) Run() *Result { return r.RunBudget(r.cfg.Budget) }
+
+// RunBudget is Run with a per-call budget override (0 = unlimited),
+// for resumable sessions whose legs have different budgets.
+func (r *Resolver) RunBudget(budget int) *Result {
+	res := &Result{Clusters: r.cl}
+	for budget == 0 || res.Comparisons < budget {
+		step, ok := r.next()
+		if !ok {
+			break
+		}
+		res.Comparisons++
+		if step.Matched {
+			res.Matches++
+		}
+		if step.Discovered {
+			res.Discovered++
+		}
+		if step.Recheck {
+			res.Rechecks++
+		}
+		res.TotalGain += step.Gain
+		res.Trace = append(res.Trace, step)
+	}
+	return res
+}
+
+// next pops, validates, executes, and propagates one comparison.
+func (r *Resolver) next() (Step, bool) {
+	for {
+		e, ok := r.heap.Pop()
+		if !ok {
+			return Step{}, false
+		}
+		st := r.states[e.pair]
+		if st == nil || st.done {
+			continue // stale entry
+		}
+		// Lazy revalidation: priorities drift as the state evolves; if
+		// this entry is stale-high, reinsert at its current priority.
+		cur := r.priority(e.pair, st)
+		if cur < e.prio-1e-9 {
+			r.heap.Push(entry{pair: e.pair, prio: cur})
+			continue
+		}
+		// Skip pairs already resolved transitively — their comparison
+		// spends budget without any possible benefit.
+		if r.cl.Same(e.pair.A, e.pair.B) {
+			st.done = true
+			continue
+		}
+		return r.execute(e.pair, st), true
+	}
+}
+
+func (r *Resolver) execute(p blocking.Pair, st *pairState) Step {
+	st.done = true
+	score, matched := r.matcher.Decide(p.A, p.B, r.cl)
+	step := Step{A: p.A, B: p.B, Score: score, Matched: matched,
+		Discovered: st.discovered, Recheck: st.recheck}
+	if !matched {
+		return step
+	}
+	step.Gain = r.cfg.Benefit.Gain(p.A, p.B, r.cl, r.matcher)
+	step.Merged = r.cl.Merge(p.A, p.B)
+	if step.Merged {
+		r.propagate(p.A, p.B)
+	}
+	return step
+}
+
+// propagate is the update phase: a confirmed match (a, b) is evidence
+// for every pair formed from a-side and b-side neighbors (the matcher's
+// neighborhoods already combine both link directions). Queued pairs get
+// a priority boost; unseen cross-KB pairs are discovered and enqueued
+// with the boost as their whole priority.
+func (r *Resolver) propagate(a, b int) {
+	for _, x := range r.matcher.Neighbors(a) {
+		for _, y := range r.matcher.Neighbors(b) {
+			if x == y {
+				continue
+			}
+			r.boost(blocking.MakePair(x, y))
+		}
+	}
+}
+
+func (r *Resolver) boost(p blocking.Pair) {
+	col := r.matcher.Collection()
+	if col.NumKBs() > 1 && !col.CrossKB(p.A, p.B) {
+		return
+	}
+	st := r.states[p]
+	if st == nil {
+		if r.cfg.DisableDiscovery {
+			return
+		}
+		st = &pairState{discovered: true} // no blocking evidence
+		r.states[p] = st
+	}
+	if st.done {
+		// The pair was already compared and failed (matched pairs are
+		// resolved and filtered above). New neighbor evidence re-opens
+		// it: the paper's update phase promotes re-comparison of pairs
+		// influenced by fresh matches. Re-executions spend budget like
+		// any comparison and terminate because boosts only arise from
+		// cluster merges, which are finite.
+		if r.cl.Same(p.A, p.B) || r.cfg.DisableDiscovery {
+			return
+		}
+		st.done = false
+		st.recheck = true
+	}
+	st.boost += r.cfg.NeighborBoost
+	r.heap.Push(entry{pair: p, prio: r.priority(p, st)})
+}
+
+// String renders a result summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("comparisons=%d matches=%d discovered=%d gain=%.1f %s",
+		r.Comparisons, r.Matches, r.Discovered, r.TotalGain, r.Clusters)
+}

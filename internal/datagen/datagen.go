@@ -1,0 +1,470 @@
+// Package datagen synthesizes Web-of-Data workloads with exact ground
+// truth, standing in for the real LOD cloud (DBpedia, GeoNames, BTC)
+// used in the paper's companion evaluations.
+//
+// The generator models what the Minoan ER algorithms actually observe:
+//
+//   - Real-world entities with canonical name-token sets drawn from a
+//     Zipfian vocabulary (popular tokens collide across entities, as on
+//     the Web), typed, and linked into an entity relationship graph.
+//   - Knowledge bases that each describe a subset of entities with
+//     KB-local predicates (semantic diversity), KB-local URI styles
+//     (no shared naming), and a controllable token-retention rate:
+//     "center" KBs keep most canonical tokens (highly similar
+//     descriptions), "periphery" KBs keep few (somehow similar).
+//   - Exact equivalence classes for evaluation, and optional
+//     owl:sameAs dumps for loader testing.
+//
+// Everything is driven by an explicit seed: the same Config always
+// yields bit-identical output.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/kb"
+	"repro/internal/rdf"
+)
+
+// Profile tunes how faithfully a KB copies an entity's canonical
+// evidence — the highly-similar vs somehow-similar axis of the paper.
+type Profile struct {
+	// TokenKeep is the probability each canonical name token survives
+	// into the KB's description of the entity.
+	TokenKeep float64
+	// ExtraTokens is the expected number of random noise tokens added
+	// to the description's values.
+	ExtraTokens float64
+	// AttrsPerEntity is how many literal attributes each description
+	// gets (name attributes plus this many auxiliary values).
+	AttrsPerEntity int
+	// LinkKeep is the probability each entity-graph edge appears as an
+	// object property in this KB (when both endpoints are covered).
+	LinkKeep float64
+}
+
+// Center returns the profile of a densely interlinked central-LOD KB:
+// descriptions share most of their tokens with their duplicates.
+func Center() Profile {
+	return Profile{TokenKeep: 0.9, ExtraTokens: 1, AttrsPerEntity: 3, LinkKeep: 0.9}
+}
+
+// Periphery returns the profile of a sparsely linked peripheral KB:
+// descriptions of the same entity share few tokens, so token blocking
+// alone often misses them and neighbor evidence must recover them.
+func Periphery() Profile {
+	return Profile{TokenKeep: 0.35, ExtraTokens: 3, AttrsPerEntity: 2, LinkKeep: 0.7}
+}
+
+// KBConfig describes one knowledge base to synthesize.
+type KBConfig struct {
+	Name string
+	// Coverage is the fraction of real-world entities this KB describes.
+	Coverage float64
+	Profile  Profile
+}
+
+// Config drives World generation.
+type Config struct {
+	Seed int64
+	// NumEntities is how many real-world entities exist.
+	NumEntities int
+	// KBs lists the knowledge bases to derive from the entities.
+	KBs []KBConfig
+	// VocabSize is the size of the Zipfian token vocabulary
+	// (default 4·NumEntities).
+	VocabSize int
+	// ZipfSkew is the Zipf exponent for token popularity (default 1.05;
+	// must be > 1).
+	ZipfSkew float64
+	// NameTokens is how many canonical tokens an entity name has
+	// (default 3).
+	NameTokens int
+	// LinksPerEntity is the expected out-degree of the entity
+	// relationship graph (default 2).
+	LinksPerEntity float64
+	// Types is how many distinct entity types exist (default 5).
+	Types int
+}
+
+func (c Config) withDefaults() Config {
+	if c.VocabSize == 0 {
+		c.VocabSize = 4 * c.NumEntities
+	}
+	if c.VocabSize < 4 {
+		c.VocabSize = 4
+	}
+	if c.ZipfSkew <= 1 {
+		c.ZipfSkew = 1.05
+	}
+	if c.NameTokens == 0 {
+		c.NameTokens = 3
+	}
+	if c.LinksPerEntity == 0 {
+		c.LinksPerEntity = 2
+	}
+	if c.Types == 0 {
+		c.Types = 5
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumEntities <= 0 {
+		return fmt.Errorf("datagen: NumEntities must be positive, got %d", c.NumEntities)
+	}
+	if len(c.KBs) == 0 {
+		return fmt.Errorf("datagen: at least one KB required")
+	}
+	for i, k := range c.KBs {
+		if k.Name == "" {
+			return fmt.Errorf("datagen: KB %d has empty name", i)
+		}
+		if k.Coverage <= 0 || k.Coverage > 1 {
+			return fmt.Errorf("datagen: KB %q coverage %v outside (0,1]", k.Name, k.Coverage)
+		}
+		p := k.Profile
+		if p.TokenKeep < 0 || p.TokenKeep > 1 || p.LinkKeep < 0 || p.LinkKeep > 1 {
+			return fmt.Errorf("datagen: KB %q profile probabilities outside [0,1]", k.Name)
+		}
+	}
+	return nil
+}
+
+// Entity is one synthetic real-world entity.
+type Entity struct {
+	ID    int
+	Type  int
+	Name  []string // canonical name tokens
+	Aux   []string // canonical auxiliary value tokens
+	Links []int    // entity-graph out-edges
+}
+
+// World is a generated workload: the hidden entities, the observable
+// KB descriptions, and the evaluation ground truth.
+type World struct {
+	Config   Config
+	Entities []Entity
+	// Collection holds every generated description.
+	Collection *kb.Collection
+	// Truth maps descriptions to their real-world equivalence classes.
+	Truth *kb.GroundTruth
+	// DescsOf[e] lists description ids generated for entity e.
+	DescsOf [][]int
+}
+
+// Generate builds a World from the config.
+func Generate(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vocab := makeVocab(cfg.VocabSize)
+	zipf := rand.NewZipf(rng, cfg.ZipfSkew, 1, uint64(cfg.VocabSize-1))
+
+	w := &World{
+		Config:     cfg,
+		Entities:   make([]Entity, cfg.NumEntities),
+		Collection: kb.NewCollection(),
+		Truth:      kb.NewGroundTruth(),
+		DescsOf:    make([][]int, cfg.NumEntities),
+	}
+
+	// 1. Invent the real-world entities.
+	for e := 0; e < cfg.NumEntities; e++ {
+		ent := Entity{ID: e, Type: rng.Intn(cfg.Types)}
+		seen := map[string]bool{}
+		for len(ent.Name) < cfg.NameTokens {
+			tok := vocab[zipf.Uint64()]
+			if !seen[tok] {
+				seen[tok] = true
+				ent.Name = append(ent.Name, tok)
+			}
+		}
+		// A couple of auxiliary canonical values (e.g. birthplace tokens).
+		for k := 0; k < 4; k++ {
+			ent.Aux = append(ent.Aux, vocab[zipf.Uint64()])
+		}
+		w.Entities[e] = ent
+	}
+	// 2. Entity relationship graph (directed, no self loops).
+	for e := range w.Entities {
+		n := poisson(rng, cfg.LinksPerEntity)
+		for k := 0; k < n; k++ {
+			t := rng.Intn(cfg.NumEntities)
+			if t != e {
+				w.Entities[e].Links = append(w.Entities[e].Links, t)
+			}
+		}
+	}
+
+	// 3. Derive each KB's descriptions. Two passes per KB: first decide
+	// coverage and which name tokens each description keeps (URIs are
+	// built from kept tokens so periphery URIs do not leak the full
+	// canonical name), then materialize descriptions with links to the
+	// now-known target URIs. pass distinguishes repeated KB names, so a
+	// dirty KB's duplicate descriptions get distinct URIs.
+	for pass, kcfg := range cfg.KBs {
+		covered := make([]bool, cfg.NumEntities)
+		keptNames := make([][]string, cfg.NumEntities)
+		uris := make([]string, cfg.NumEntities)
+		for e := 0; e < cfg.NumEntities; e++ {
+			covered[e] = rng.Float64() < kcfg.Coverage
+			if !covered[e] {
+				continue
+			}
+			ent := w.Entities[e]
+			var kept []string
+			for _, tok := range ent.Name {
+				if rng.Float64() < kcfg.Profile.TokenKeep {
+					kept = append(kept, tok)
+				}
+			}
+			// Always keep at least one token: anonymous descriptions
+			// cannot be blocked or matched by anyone.
+			if len(kept) == 0 {
+				kept = append(kept, ent.Name[rng.Intn(len(ent.Name))])
+			}
+			keptNames[e] = kept
+			uris[e] = fmt.Sprintf("http://%s.example.org/resource/%s_%s",
+				kcfg.Name, styleName(kcfg.Name, kept), idTag(kcfg.Name, pass, e))
+		}
+		for e := 0; e < cfg.NumEntities; e++ {
+			if !covered[e] {
+				continue
+			}
+			d := w.describe(rng, vocab, zipf, kcfg, e, keptNames[e], uris)
+			id := w.Collection.Add(d)
+			w.DescsOf[e] = append(w.DescsOf[e], id)
+		}
+	}
+
+	// 4. Ground truth from the per-entity description lists.
+	for _, ids := range w.DescsOf {
+		if len(ids) >= 2 {
+			w.Truth.AddClass(ids...)
+		} else if len(ids) == 1 {
+			w.Truth.AddClass(ids[0])
+		}
+	}
+	return w, nil
+}
+
+// describe derives one KB's description of entity e, given its kept
+// name tokens and the URI table of every covered entity in this pass
+// (uris[t] == "" when t is not covered).
+func (w *World) describe(rng *rand.Rand, vocab []string, zipf *rand.Zipf, kcfg KBConfig, e int, kept []string, uris []string) *kb.Description {
+	ent := w.Entities[e]
+	p := kcfg.Profile
+
+	d := &kb.Description{URI: uris[e], KB: kcfg.Name}
+	d.Types = append(d.Types, fmt.Sprintf("http://%s.example.org/onto#Type%d", kcfg.Name, ent.Type))
+
+	// Name attribute: the kept canonical tokens plus noise tokens.
+	name := append([]string(nil), kept...)
+	for k := 0; k < poisson(rng, p.ExtraTokens); k++ {
+		name = append(name, vocab[zipf.Uint64()])
+	}
+	d.Attrs = append(d.Attrs, kb.Attribute{
+		Predicate: fmt.Sprintf("http://%s.example.org/onto#name", kcfg.Name),
+		Value:     strings.Join(name, " "),
+	})
+
+	// Auxiliary attributes reuse canonical aux tokens with the same
+	// retention behavior, under KB-local predicates.
+	for a := 0; a < p.AttrsPerEntity; a++ {
+		src := ent.Aux[a%len(ent.Aux)]
+		val := src
+		if rng.Float64() >= p.TokenKeep {
+			val = vocab[zipf.Uint64()] // replaced by noise
+		}
+		d.Attrs = append(d.Attrs, kb.Attribute{
+			Predicate: fmt.Sprintf("http://%s.example.org/onto#attr%d", kcfg.Name, a),
+			Value:     val,
+		})
+	}
+
+	// Links to this pass's descriptions of linked entities.
+	for _, target := range ent.Links {
+		if uris[target] != "" && rng.Float64() < p.LinkKeep {
+			d.Links = append(d.Links, uris[target])
+		}
+	}
+	return d
+}
+
+// styleName renders canonical name tokens in a KB-specific URI style so
+// URIs never match textually across KBs (different naming authorities).
+func styleName(kbName string, tokens []string) string {
+	switch len(kbName) % 3 {
+	case 0:
+		return strings.Join(tokens, "_")
+	case 1:
+		var sb strings.Builder
+		for _, t := range tokens {
+			if t == "" {
+				continue
+			}
+			sb.WriteString(strings.ToUpper(t[:1]))
+			sb.WriteString(t[1:])
+		}
+		return sb.String()
+	default:
+		return strings.Join(tokens, "-")
+	}
+}
+
+// idTag encodes (kb, pass, entity) as a letters-only disambiguation
+// suffix. It is KB-salted so descriptions of the same entity in
+// different KBs share no URI token — URIs must never leak identity
+// evidence that the attribute values do not carry.
+func idTag(kbName string, pass, e int) string {
+	h := uint64(1469598103934665603) // FNV-1a over the KB name
+	for i := 0; i < len(kbName); i++ {
+		h = (h ^ uint64(kbName[i])) * 1099511628211
+	}
+	buf := make([]byte, 0, 12)
+	for i := 0; i < 4; i++ { // 4-letter KB salt
+		buf = append(buf, byte('a'+h%26))
+		h /= 26
+	}
+	x := uint64(pass)
+	for i := 0; i < 2; i++ { // fixed-width pass
+		buf = append(buf, byte('a'+x%26))
+		x /= 26
+	}
+	y := uint64(e)
+	for i := 0; i < 6; i++ { // fixed-width entity id: injective up to 26^6
+		buf = append(buf, byte('a'+y%26))
+		y /= 26
+	}
+	return string(buf)
+}
+
+// makeVocab builds a deterministic pseudo-word vocabulary. Words are
+// pronounceable-ish and unique.
+func makeVocab(n int) []string {
+	consonants := []string{"b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z"}
+	vowels := []string{"a", "e", "i", "o", "u"}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		var sb strings.Builder
+		x := i
+		for k := 0; k < 3; k++ {
+			sb.WriteString(consonants[x%len(consonants)])
+			x /= len(consonants)
+			sb.WriteString(vowels[x%len(vowels)])
+			x /= len(vowels)
+		}
+		sb.WriteString(fmt.Sprintf("%d", i%97))
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// poisson samples a Poisson variate with mean lambda (Knuth's method;
+// fine for the small lambdas used here).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Triples serializes every description of the named KB back to RDF, for
+// the datagen CLI and loader round-trip tests.
+func (w *World) Triples(kbName string) []rdf.Triple {
+	var out []rdf.Triple
+	c := w.Collection
+	for id := 0; id < c.Len(); id++ {
+		d := c.Desc(id)
+		if d.KB != kbName {
+			continue
+		}
+		subj := rdf.NewIRI(d.URI)
+		for _, ty := range d.Types {
+			out = append(out, rdf.NewTriple(subj, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(ty)))
+		}
+		for _, a := range d.Attrs {
+			out = append(out, rdf.NewTriple(subj, rdf.NewIRI(a.Predicate), rdf.NewLiteral(a.Value)))
+		}
+		for _, l := range d.Links {
+			out = append(out, rdf.NewTriple(subj, rdf.NewIRI("http://"+kbName+".example.org/onto#related"), rdf.NewIRI(l)))
+		}
+	}
+	return out
+}
+
+// SameAsTriples serializes the ground truth as owl:sameAs links between
+// consecutive descriptions of each entity.
+func (w *World) SameAsTriples() []rdf.Triple {
+	var out []rdf.Triple
+	for _, ids := range w.DescsOf {
+		for i := 1; i < len(ids); i++ {
+			a := w.Collection.Desc(ids[i-1])
+			b := w.Collection.Desc(ids[i])
+			out = append(out, rdf.NewTriple(rdf.NewIRI(a.URI), rdf.NewIRI(rdf.OWLSameAs), rdf.NewIRI(b.URI)))
+		}
+	}
+	return out
+}
+
+// TwoKBs is a convenience config: two KBs over n entities, both with
+// the given profiles and full coverage, seeded deterministically.
+func TwoKBs(seed int64, n int, p1, p2 Profile) Config {
+	return Config{
+		Seed:        seed,
+		NumEntities: n,
+		KBs: []KBConfig{
+			{Name: "alpha", Coverage: 1, Profile: p1},
+			{Name: "betaKB", Coverage: 1, Profile: p2},
+		},
+	}
+}
+
+// LODCloud is a convenience config modelling the paper's setting: two
+// central, densely-populated KBs plus two sparse periphery KBs.
+func LODCloud(seed int64, n int) Config {
+	return Config{
+		Seed:        seed,
+		NumEntities: n,
+		KBs: []KBConfig{
+			{Name: "centerA", Coverage: 0.9, Profile: Center()},
+			{Name: "centerB", Coverage: 0.8, Profile: Center()},
+			{Name: "periphX", Coverage: 0.5, Profile: Periphery()},
+			{Name: "periphY", Coverage: 0.4, Profile: Periphery()},
+		},
+	}
+}
+
+// DirtyKB is a convenience config for dirty ER: one KB that contains
+// duplicate descriptions of the same entities. It is modelled as a
+// single logical KB whose duplicates come from merging several
+// generator passes under one name.
+func DirtyKB(seed int64, n int, dupFactor int) Config {
+	if dupFactor < 2 {
+		dupFactor = 2
+	}
+	cfg := Config{Seed: seed, NumEntities: n}
+	for i := 0; i < dupFactor; i++ {
+		cfg.KBs = append(cfg.KBs, KBConfig{
+			Name:     "dirty", // same KB name: duplicates land in one KB
+			Coverage: 0.8,
+			Profile:  Center(),
+		})
+	}
+	return cfg
+}

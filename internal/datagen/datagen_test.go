@@ -1,0 +1,291 @@
+package datagen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kb"
+	"repro/internal/similarity"
+	"repro/internal/tokenize"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{NumEntities: 0, KBs: []KBConfig{{Name: "a", Coverage: 1}}},
+		{NumEntities: 10},
+		{NumEntities: 10, KBs: []KBConfig{{Name: "", Coverage: 1}}},
+		{NumEntities: 10, KBs: []KBConfig{{Name: "a", Coverage: 0}}},
+		{NumEntities: 10, KBs: []KBConfig{{Name: "a", Coverage: 1.5}}},
+		{NumEntities: 10, KBs: []KBConfig{{Name: "a", Coverage: 1, Profile: Profile{TokenKeep: 2}}}},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := TwoKBs(42, 50, Center(), Center())
+	w1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Collection.Len() != w2.Collection.Len() {
+		t.Fatalf("non-deterministic sizes: %d vs %d", w1.Collection.Len(), w2.Collection.Len())
+	}
+	for id := 0; id < w1.Collection.Len(); id++ {
+		d1, d2 := w1.Collection.Desc(id), w2.Collection.Desc(id)
+		if d1.URI != d2.URI || !reflect.DeepEqual(d1.Attrs, d2.Attrs) || !reflect.DeepEqual(d1.Links, d2.Links) {
+			t.Fatalf("description %d differs between runs", id)
+		}
+	}
+	// A different seed changes the output.
+	cfg.Seed = 43
+	w3, _ := Generate(cfg)
+	same := w3.Collection.Len() == w1.Collection.Len()
+	if same {
+		diff := false
+		for id := 0; id < w1.Collection.Len(); id++ {
+			if w1.Collection.Desc(id).URI != w3.Collection.Desc(id).URI {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Error("different seeds produced identical worlds")
+	}
+}
+
+func TestGroundTruthShape(t *testing.T) {
+	w, err := Generate(TwoKBs(7, 100, Center(), Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full coverage of both KBs: every entity has exactly 2 descriptions.
+	if w.Collection.Len() != 200 {
+		t.Fatalf("Len=%d, want 200", w.Collection.Len())
+	}
+	if got := w.Truth.NumMatchingPairs(); got != 100 {
+		t.Errorf("matching pairs=%d, want 100", got)
+	}
+	if got := w.Truth.CrossKBMatchingPairs(w.Collection); got != 100 {
+		t.Errorf("cross-KB pairs=%d, want 100", got)
+	}
+	for e, ids := range w.DescsOf {
+		if len(ids) != 2 {
+			t.Fatalf("entity %d has %d descriptions", e, len(ids))
+		}
+		if !w.Truth.Match(ids[0], ids[1]) {
+			t.Fatalf("entity %d descriptions not in one class", e)
+		}
+	}
+}
+
+func TestProfilesControlSimilarity(t *testing.T) {
+	opts := tokenize.Default()
+	avgSim := func(p Profile) float64 {
+		w, err := Generate(TwoKBs(11, 150, p, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, n := 0.0, 0
+		for _, ids := range w.DescsOf {
+			if len(ids) != 2 {
+				continue
+			}
+			a := w.Collection.Tokens(ids[0], opts)
+			b := w.Collection.Tokens(ids[1], opts)
+			total += similarity.JaccardSlices(a, b)
+			n++
+		}
+		return total / float64(n)
+	}
+	center := avgSim(Center())
+	periph := avgSim(Periphery())
+	if center <= periph {
+		t.Errorf("center similarity %v should exceed periphery %v", center, periph)
+	}
+	if center < 0.4 {
+		t.Errorf("center similarity %v too low — highly similar pairs expected", center)
+	}
+	if periph > 0.35 {
+		t.Errorf("periphery similarity %v too high — somehow similar pairs expected", periph)
+	}
+}
+
+func TestURIsDoNotLeakIdentity(t *testing.T) {
+	// Descriptions of the same entity in different KBs must not share
+	// tokens that come only from URI plumbing (the disambiguation tag):
+	// strip the name tokens and nothing should remain shared.
+	w, err := Generate(TwoKBs(3, 40, Periphery(), Periphery()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := tokenize.Default()
+	for e, ids := range w.DescsOf {
+		if len(ids) != 2 {
+			continue
+		}
+		uriToksA := tokenize.URITokens(w.Collection.Desc(ids[0]).URI, opts)
+		uriToksB := tokenize.URITokens(w.Collection.Desc(ids[1]).URI, opts)
+		canon := map[string]bool{}
+		for _, tok := range tokenize.Tokens(strings.Join(w.Entities[e].Name, " "), opts) {
+			canon[tok] = true
+		}
+		shared := map[string]bool{}
+		for _, a := range uriToksA {
+			for _, b := range uriToksB {
+				if a == b && !canon[a] {
+					shared[a] = true
+				}
+			}
+		}
+		if len(shared) > 0 {
+			t.Fatalf("entity %d URIs share non-name tokens %v:\n%s\n%s",
+				e, shared, w.Collection.Desc(ids[0]).URI, w.Collection.Desc(ids[1]).URI)
+		}
+	}
+}
+
+func TestLinksResolve(t *testing.T) {
+	w, err := Generate(TwoKBs(5, 80, Center(), Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dangling := 0
+	for id := 0; id < w.Collection.Len(); id++ {
+		d := w.Collection.Desc(id)
+		for _, l := range d.Links {
+			if _, ok := w.Collection.IDOf(d.KB, l); !ok {
+				dangling++
+			}
+		}
+	}
+	if dangling > 0 {
+		t.Errorf("%d dangling links", dangling)
+	}
+}
+
+func TestDirtyKB(t *testing.T) {
+	w, err := Generate(DirtyKB(9, 60, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Collection.NumKBs() != 1 {
+		t.Fatalf("dirty world has %d KBs, want 1", w.Collection.NumKBs())
+	}
+	// With coverage 0.8 twice, expect a healthy number of duplicates.
+	if w.Truth.NumMatchingPairs() < 20 {
+		t.Errorf("only %d duplicate pairs generated", w.Truth.NumMatchingPairs())
+	}
+	// All duplicates are within the single KB.
+	if w.Truth.CrossKBMatchingPairs(w.Collection) != 0 {
+		t.Error("dirty world has cross-KB pairs")
+	}
+}
+
+func TestLODCloud(t *testing.T) {
+	w, err := Generate(LODCloud(13, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Collection.NumKBs() != 4 {
+		t.Fatalf("NumKBs=%d, want 4", w.Collection.NumKBs())
+	}
+	if w.Truth.NumMatchingPairs() == 0 {
+		t.Error("no matching pairs in LOD cloud")
+	}
+	st := w.Collection.Stats()
+	if st.Links == 0 {
+		t.Error("no links generated")
+	}
+	if st.Predicates < 8 {
+		t.Errorf("predicates=%d — KBs should use disjoint vocabularies", st.Predicates)
+	}
+}
+
+func TestTriplesRoundTrip(t *testing.T) {
+	w, err := Generate(TwoKBs(21, 30, Center(), Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"alpha", "betaKB"} {
+		ts := w.Triples(name)
+		if len(ts) == 0 {
+			t.Fatalf("no triples for %s", name)
+		}
+		c := kb.NewCollection()
+		c.LoadTriples(name, ts)
+		if c.Len() != 30 {
+			t.Errorf("%s round trip Len=%d, want 30", name, c.Len())
+		}
+	}
+	sameAs := w.SameAsTriples()
+	if len(sameAs) != 30 {
+		t.Errorf("sameAs count=%d, want 30", len(sameAs))
+	}
+	// Load the whole world back and reconstruct ground truth.
+	c := kb.NewCollection()
+	c.LoadTriples("alpha", w.Triples("alpha"))
+	c.LoadTriples("betaKB", w.Triples("betaKB"))
+	g := kb.NewGroundTruth()
+	if missing := g.LoadSameAs(c, sameAs); missing != 0 {
+		t.Errorf("%d sameAs links unresolvable after round trip", missing)
+	}
+	if g.NumMatchingPairs() != w.Truth.NumMatchingPairs() {
+		t.Errorf("round-trip pairs=%d, want %d", g.NumMatchingPairs(), w.Truth.NumMatchingPairs())
+	}
+}
+
+func TestVocabUnique(t *testing.T) {
+	v := makeVocab(2000)
+	seen := map[string]bool{}
+	for _, w := range v {
+		if seen[w] {
+			t.Fatalf("duplicate vocab word %q", w)
+		}
+		seen[w] = true
+		if strings.ContainsAny(w, " _-") {
+			t.Fatalf("vocab word %q not a single token", w)
+		}
+	}
+}
+
+func TestIDTagInjective(t *testing.T) {
+	f := func(p1, e1, p2, e2 uint16) bool {
+		t1 := idTag("kbx", int(p1%8), int(e1))
+		t2 := idTag("kbx", int(p2%8), int(e2))
+		if p1%8 == p2%8 && e1 == e2 {
+			return t1 == t2
+		}
+		return t1 != t2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Different KBs give different tags for the same (pass, e).
+	if idTag("kb1", 0, 7) == idTag("kb2", 0, 7) {
+		t.Error("tags not KB-salted")
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	w, _ := Generate(Config{Seed: 1, NumEntities: 300, KBs: []KBConfig{{Name: "k", Coverage: 1, Profile: Center()}}, LinksPerEntity: 2})
+	total := 0
+	for _, e := range w.Entities {
+		total += len(e.Links)
+	}
+	mean := float64(total) / 300
+	if mean < 1.2 || mean > 2.8 {
+		t.Errorf("mean out-degree %v far from 2", mean)
+	}
+}

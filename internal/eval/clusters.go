@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/kb"
+)
+
+// ClusterQuality evaluates a clustering at the cluster level, beyond
+// pairwise precision/recall: purity asks whether predicted clusters
+// mix real-world entities, inverse purity whether real-world entities
+// are fragmented across clusters, and ExactMatch counts ground-truth
+// classes reproduced exactly.
+type ClusterQuality struct {
+	// Purity: Σ over predicted clusters of their dominant-class member
+	// count, over total clustered descriptions. 1 = no cluster mixes
+	// entities.
+	Purity float64
+	// InversePurity: same with roles swapped — 1 = no entity is split
+	// across clusters.
+	InversePurity float64
+	// F is the harmonic mean of Purity and InversePurity.
+	F float64
+	// ExactMatch counts predicted clusters identical to a truth class.
+	ExactMatch int
+	// Predicted and TruthClasses are the cluster counts compared.
+	Predicted    int
+	TruthClasses int
+}
+
+// String renders the measures on one line.
+func (c ClusterQuality) String() string {
+	return fmt.Sprintf("purity=%.4f invPurity=%.4f F=%.4f exact=%d/%d predicted=%d",
+		c.Purity, c.InversePurity, c.F, c.ExactMatch, c.TruthClasses, c.Predicted)
+}
+
+// EvaluateClusters scores predicted clusters (each a set of description
+// ids, as returned by match.Clusters.Resolved) against the ground
+// truth's classes. Only descriptions belonging to a truth class of
+// size ≥ 2 participate; singletons on either side are ignored, since
+// neither purity direction is meaningful for them.
+func EvaluateClusters(g *kb.GroundTruth, predicted [][]int) ClusterQuality {
+	truth := g.Classes()
+	q := ClusterQuality{Predicted: len(predicted), TruthClasses: len(truth)}
+	if len(truth) == 0 {
+		return q
+	}
+	inTruth := make(map[int]int) // id → truth class index
+	truthTotal := 0
+	for ci, members := range truth {
+		truthTotal += len(members)
+		for _, id := range members {
+			inTruth[id] = ci
+		}
+	}
+
+	// Purity: dominant truth class per predicted cluster.
+	clusterOf := make(map[int]int) // id → predicted cluster index
+	dominantSum := 0
+	predTotal := 0
+	for pi, members := range predicted {
+		counts := make(map[int]int)
+		n := 0
+		for _, id := range members {
+			clusterOf[id] = pi
+			if ci, ok := inTruth[id]; ok {
+				counts[ci]++
+				n++
+			}
+		}
+		predTotal += n
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		dominantSum += best
+	}
+	if predTotal > 0 {
+		q.Purity = float64(dominantSum) / float64(predTotal)
+	}
+
+	// Inverse purity: dominant predicted cluster per truth class.
+	invSum := 0
+	for _, members := range truth {
+		counts := make(map[int]int)
+		for _, id := range members {
+			if pi, ok := clusterOf[id]; ok {
+				counts[pi]++
+			}
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		invSum += best
+	}
+	q.InversePurity = float64(invSum) / float64(truthTotal)
+
+	if q.Purity+q.InversePurity > 0 {
+		q.F = 2 * q.Purity * q.InversePurity / (q.Purity + q.InversePurity)
+	}
+
+	// Exact matches: identical member sets.
+	truthSets := make(map[string]bool, len(truth))
+	for _, members := range truth {
+		truthSets[setKey(members)] = true
+	}
+	for _, members := range predicted {
+		if truthSets[setKey(members)] {
+			q.ExactMatch++
+		}
+	}
+	return q
+}
+
+// setKey canonicalizes a sorted member list (Resolved and Classes both
+// return ascending members).
+func setKey(members []int) string {
+	b := make([]byte, 0, len(members)*4)
+	for _, m := range members {
+		for m > 0 {
+			b = append(b, byte('0'+m%10))
+			m /= 10
+		}
+		b = append(b, ',')
+	}
+	return string(b)
+}

@@ -1,0 +1,245 @@
+// Package eval computes the quality measures the experiments report:
+// pairs completeness / pairs quality / reduction ratio for blocking and
+// meta-blocking, precision / recall / F1 for matching, and progressive
+// recall curves with normalized area-under-curve for the scheduler.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/blocking"
+	"repro/internal/kb"
+	"repro/internal/metablocking"
+)
+
+// BlockingQuality summarizes a candidate-pair set against ground truth.
+type BlockingQuality struct {
+	// PC (pairs completeness) is the fraction of ground-truth matching
+	// pairs covered by the candidates — blocking recall.
+	PC float64
+	// PQ (pairs quality) is the fraction of candidates that match —
+	// blocking precision.
+	PQ float64
+	// RR (reduction ratio) is 1 − candidates/bruteForce.
+	RR float64
+	// Candidates is the number of distinct candidate pairs.
+	Candidates int
+	// Matches is the number of ground-truth pairs among the candidates.
+	Matches int
+	// TotalMatches is the number of comparable ground-truth pairs.
+	TotalMatches int
+	// BruteForce is the comparison count without blocking.
+	BruteForce int
+}
+
+// String renders the measures on one line.
+func (q BlockingQuality) String() string {
+	return fmt.Sprintf("PC=%.4f PQ=%.4f RR=%.4f candidates=%d matches=%d/%d brute=%d",
+		q.PC, q.PQ, q.RR, q.Candidates, q.Matches, q.TotalMatches, q.BruteForce)
+}
+
+// BruteForceComparisons returns the comparison count of the exhaustive
+// baseline: all cross-KB pairs in clean–clean settings, all pairs
+// otherwise.
+func BruteForceComparisons(c *kb.Collection) int {
+	n := c.Len()
+	total := n * (n - 1) / 2
+	if c.NumKBs() <= 1 {
+		return total
+	}
+	perKB := make([]int, c.NumKBs())
+	for id := 0; id < n; id++ {
+		perKB[c.KBOf(id)]++
+	}
+	for _, k := range perKB {
+		total -= k * (k - 1) / 2
+	}
+	return total
+}
+
+// comparableMatches counts ground-truth pairs that the setting permits
+// (cross-KB only in clean–clean).
+func comparableMatches(c *kb.Collection, g *kb.GroundTruth) int {
+	if c.NumKBs() > 1 {
+		return g.CrossKBMatchingPairs(c)
+	}
+	return g.NumMatchingPairs()
+}
+
+// EvaluatePairs scores an arbitrary candidate-pair set.
+func EvaluatePairs(c *kb.Collection, g *kb.GroundTruth, pairs []blocking.Pair) BlockingQuality {
+	q := BlockingQuality{
+		Candidates:   len(pairs),
+		TotalMatches: comparableMatches(c, g),
+		BruteForce:   BruteForceComparisons(c),
+	}
+	for _, p := range pairs {
+		if g.Match(p.A, p.B) {
+			q.Matches++
+		}
+	}
+	if q.TotalMatches > 0 {
+		q.PC = float64(q.Matches) / float64(q.TotalMatches)
+	}
+	if q.Candidates > 0 {
+		q.PQ = float64(q.Matches) / float64(q.Candidates)
+	}
+	if q.BruteForce > 0 {
+		q.RR = 1 - float64(q.Candidates)/float64(q.BruteForce)
+	}
+	return q
+}
+
+// EvaluateBlocks scores a block collection's distinct candidate pairs.
+func EvaluateBlocks(col *blocking.Collection, g *kb.GroundTruth) BlockingQuality {
+	return EvaluatePairs(col.Source, g, col.DistinctPairs())
+}
+
+// EvaluateEdges scores a pruned edge list from meta-blocking.
+func EvaluateEdges(c *kb.Collection, g *kb.GroundTruth, edges []metablocking.Edge) BlockingQuality {
+	pairs := make([]blocking.Pair, len(edges))
+	for i, e := range edges {
+		pairs[i] = blocking.Pair{A: e.A, B: e.B}
+	}
+	return EvaluatePairs(c, g, pairs)
+}
+
+// MatchQuality summarizes a predicted match set.
+type MatchQuality struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	TP        int
+	FP        int
+	FN        int
+}
+
+// String renders the measures on one line.
+func (m MatchQuality) String() string {
+	return fmt.Sprintf("P=%.4f R=%.4f F1=%.4f tp=%d fp=%d fn=%d",
+		m.Precision, m.Recall, m.F1, m.TP, m.FP, m.FN)
+}
+
+// EvaluateMatches scores predicted matching pairs against the
+// comparable ground-truth pairs.
+func EvaluateMatches(c *kb.Collection, g *kb.GroundTruth, predicted []blocking.Pair) MatchQuality {
+	var m MatchQuality
+	for _, p := range predicted {
+		if g.Match(p.A, p.B) {
+			m.TP++
+		} else {
+			m.FP++
+		}
+	}
+	total := comparableMatches(c, g)
+	m.FN = total - m.TP
+	if m.TP+m.FP > 0 {
+		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+	}
+	if total > 0 {
+		m.Recall = float64(m.TP) / float64(total)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// CurvePoint is one point of a progressive quality curve.
+type CurvePoint struct {
+	// Comparisons executed so far.
+	Comparisons int
+	// Value of the tracked measure (e.g. recall) after them.
+	Value float64
+}
+
+// Curve is a monotone progressive-quality curve.
+type Curve []CurvePoint
+
+// At returns the curve value after k comparisons (step interpolation).
+func (c Curve) At(k int) float64 {
+	v := 0.0
+	for _, p := range c {
+		if p.Comparisons > k {
+			break
+		}
+		v = p.Value
+	}
+	return v
+}
+
+// Final returns the last value of the curve (0 for an empty curve).
+func (c Curve) Final() float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	return c[len(c)-1].Value
+}
+
+// AUC returns the normalized area under the curve over the comparison
+// range [0, horizon]: 1 means the final value was reached immediately,
+// 0 means nothing was ever gained. A good progressive scheduler
+// maximizes AUC, not just the final value.
+func (c Curve) AUC(horizon int) float64 {
+	if horizon <= 0 || len(c) == 0 {
+		return 0
+	}
+	area := 0.0
+	prevX, prevV := 0, 0.0
+	for _, p := range c {
+		x := p.Comparisons
+		if x > horizon {
+			x = horizon
+		}
+		area += float64(x-prevX) * prevV
+		prevX, prevV = x, p.Value
+		if p.Comparisons >= horizon {
+			break
+		}
+	}
+	area += float64(horizon-prevX) * prevV
+	return area / float64(horizon)
+}
+
+// RecallCurve builds the progressive recall curve from an ordered
+// stream of (pair, isMatch) outcomes: recall after each comparison,
+// downsampled to at most maxPoints points (0 = keep all).
+func RecallCurve(outcomes []bool, totalMatches, maxPoints int) Curve {
+	if totalMatches <= 0 {
+		return nil
+	}
+	stride := 1
+	if maxPoints > 0 && len(outcomes) > maxPoints {
+		stride = (len(outcomes) + maxPoints - 1) / maxPoints
+	}
+	var curve Curve
+	found := 0
+	for i, hit := range outcomes {
+		if hit {
+			found++
+		}
+		last := i == len(outcomes)-1
+		if hit || last || (i+1)%stride == 0 {
+			curve = append(curve, CurvePoint{
+				Comparisons: i + 1,
+				Value:       float64(found) / float64(totalMatches),
+			})
+		}
+	}
+	return dedupCurve(curve)
+}
+
+func dedupCurve(c Curve) Curve {
+	out := c[:0]
+	for i, p := range c {
+		if i+1 < len(c) && c[i+1].Comparisons == p.Comparisons {
+			continue // keep the later point at the same x
+		}
+		if len(out) > 0 && math.Abs(out[len(out)-1].Value-p.Value) < 1e-15 && i+1 < len(c) {
+			continue // drop interior plateau points
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import "testing"
+
+func TestA1Shape(t *testing.T) {
+	tab := A1BlockingMethods(21, 200)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows=%d", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		if f1 := num(t, cell(tab, i, "F1")); f1 < 0.4 {
+			t.Errorf("%s end-to-end F1=%v collapsed", tab.Rows[i][0], f1)
+		}
+	}
+	// Sorted neighborhood must be the cheapest candidate set.
+	tokC := num(t, cell(tab, 0, "candidates"))
+	snC := num(t, cell(tab, 2, "candidates"))
+	if snC >= tokC {
+		t.Errorf("sorted-nbhd candidates %v !< token %v", snC, tokC)
+	}
+}
+
+func TestA2Shape(t *testing.T) {
+	tab := A2NeighborWeight(22, 250)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows=%d", len(tab.Rows))
+	}
+	off := num(t, cell(tab, 0, "recall"))
+	mid := num(t, cell(tab, 2, "recall")) // weight 0.5, the default
+	if mid <= off {
+		t.Errorf("neighbor weight 0.5 recall %v !> off %v", mid, off)
+	}
+	if disc := num(t, cell(tab, 0, "discovered")); disc != 0 {
+		// With the weight off, discovered comparisons can execute but
+		// never match; they may still be counted as executed.
+		_ = disc
+	}
+}
+
+func TestA3Shape(t *testing.T) {
+	tab := A3SchedulerComponents(23, 250)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows=%d", len(tab.Rows))
+	}
+	full := num(t, cell(tab, 0, "final recall"))
+	static := num(t, cell(tab, 4, "final recall"))
+	if full < static {
+		t.Errorf("full scheduler recall %v below static %v", full, static)
+	}
+	fullAUC := num(t, cell(tab, 0, "AUC"))
+	noDisc := num(t, cell(tab, 3, "final recall"))
+	if noDisc > full {
+		t.Errorf("removing discovery increased recall: %v > %v", noDisc, full)
+	}
+	if fullAUC <= 0 {
+		t.Errorf("full AUC=%v", fullAUC)
+	}
+}
+
+func TestA4Shape(t *testing.T) {
+	tab := A4SchemeProgressive(24, 200)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows=%d", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		if auc := num(t, cell(tab, i, "AUC")); auc < 0.3 {
+			t.Errorf("%s AUC=%v collapsed", tab.Rows[i][0], auc)
+		}
+	}
+}
+
+func TestA5Shape(t *testing.T) {
+	tab := A5PruningReciprocal(25, 200)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows=%d", len(tab.Rows))
+	}
+	// Row pairs: (WNP either, WNP both), (CNP either, CNP both).
+	for i := 0; i < 4; i += 2 {
+		either := num(t, cell(tab, i, "kept"))
+		both := num(t, cell(tab, i+1, "kept"))
+		if both > either {
+			t.Errorf("%s reciprocal kept more (%v) than redefined (%v)", tab.Rows[i][0], both, either)
+		}
+		pqE := num(t, cell(tab, i, "PQ"))
+		pqB := num(t, cell(tab, i+1, "PQ"))
+		if pqB < pqE {
+			t.Errorf("%s reciprocal PQ %v below redefined %v", tab.Rows[i][0], pqB, pqE)
+		}
+	}
+}
+
+func TestA6Shape(t *testing.T) {
+	tab := A6Clustering(26, 200)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows=%d", len(tab.Rows))
+	}
+	tc := num(t, cell(tab, 0, "precision"))
+	ce := num(t, cell(tab, 1, "precision"))
+	um := num(t, cell(tab, 2, "precision"))
+	if ce <= tc || um <= tc {
+		t.Errorf("clustering did not improve dirty precision: tc=%v center=%v unique=%v", tc, ce, um)
+	}
+	for i := range tab.Rows {
+		if rec := num(t, cell(tab, i, "recall")); rec < 0.7 {
+			t.Errorf("%s recall %v collapsed", tab.Rows[i][0], rec)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package kb
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/tokenize"
+)
+
+const sampleNT = `
+<http://kb1.org/Paris> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://kb1.org/City> .
+<http://kb1.org/Paris> <http://www.w3.org/2000/01/rdf-schema#label> "Paris" .
+<http://kb1.org/Paris> <http://kb1.org/country> <http://kb1.org/France> .
+<http://kb1.org/Paris> <http://kb1.org/population> "2161000" .
+<http://kb1.org/France> <http://www.w3.org/2000/01/rdf-schema#label> "France" .
+<http://kb1.org/Paris> <http://www.w3.org/2002/07/owl#sameAs> <http://kb2.org/paris_fr> .
+`
+
+func loadSample(t *testing.T) *Collection {
+	t.Helper()
+	c := NewCollection()
+	if err := c.Load("kb1", strings.NewReader(sampleNT)); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return c
+}
+
+func TestLoadTriples(t *testing.T) {
+	c := loadSample(t)
+	if c.Len() != 2 {
+		t.Fatalf("Len=%d, want 2 (Paris, France)", c.Len())
+	}
+	id, ok := c.IDOf("kb1", "http://kb1.org/Paris")
+	if !ok {
+		t.Fatal("Paris not found")
+	}
+	d := c.Desc(id)
+	if len(d.Types) != 1 || d.Types[0] != "http://kb1.org/City" {
+		t.Errorf("Types=%v", d.Types)
+	}
+	if len(d.Attrs) != 2 {
+		t.Errorf("Attrs=%v, want label+population", d.Attrs)
+	}
+	// owl:sameAs must not become a link; country must.
+	if len(d.Links) != 1 || d.Links[0] != "http://kb1.org/France" {
+		t.Errorf("Links=%v", d.Links)
+	}
+	if d.Label() != "Paris" {
+		t.Errorf("Label=%q", d.Label())
+	}
+}
+
+func TestLabelFallsBackToURI(t *testing.T) {
+	d := &Description{URI: "http://kb1.org/Berlin_City", KB: "kb1"}
+	if d.Label() != "Berlin_City" {
+		t.Errorf("Label=%q, want URI infix", d.Label())
+	}
+}
+
+func TestAddMerges(t *testing.T) {
+	c := NewCollection()
+	id1 := c.Add(&Description{URI: "u", KB: "a", Attrs: []Attribute{{"p", "v1"}}})
+	id2 := c.Add(&Description{URI: "u", KB: "a", Attrs: []Attribute{{"p", "v2"}}})
+	if id1 != id2 {
+		t.Fatalf("same KB+URI got distinct ids %d, %d", id1, id2)
+	}
+	if len(c.Desc(id1).Attrs) != 2 {
+		t.Errorf("merge lost attributes: %v", c.Desc(id1).Attrs)
+	}
+	// Same URI in a different KB is a distinct description.
+	id3 := c.Add(&Description{URI: "u", KB: "b"})
+	if id3 == id1 {
+		t.Error("cross-KB same URI collapsed")
+	}
+	if !c.CrossKB(id1, id3) || c.CrossKB(id1, id2) {
+		t.Error("CrossKB wrong")
+	}
+	if c.NumKBs() != 2 || c.KBName(0) != "a" || c.KBName(1) != "b" {
+		t.Errorf("KB bookkeeping wrong: %d %s %s", c.NumKBs(), c.KBName(0), c.KBName(1))
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	c := loadSample(t)
+	paris, _ := c.IDOf("kb1", "http://kb1.org/Paris")
+	france, _ := c.IDOf("kb1", "http://kb1.org/France")
+	if got := c.Neighbors(paris); !reflect.DeepEqual(got, []int{france}) {
+		t.Errorf("Neighbors(Paris)=%v, want [%d]", got, france)
+	}
+	if got := c.Neighbors(france); got != nil {
+		t.Errorf("Neighbors(France)=%v, want nil", got)
+	}
+}
+
+func TestNeighborsSkipsDanglingAndSelf(t *testing.T) {
+	c := NewCollection()
+	id := c.Add(&Description{URI: "a", KB: "k", Links: []string{"missing", "a", "b", "b"}})
+	c.Add(&Description{URI: "b", KB: "k"})
+	got := c.Neighbors(id)
+	b, _ := c.IDOf("k", "b")
+	if !reflect.DeepEqual(got, []int{b}) {
+		t.Errorf("Neighbors=%v, want [%d]", got, b)
+	}
+}
+
+func TestDescriptionTokens(t *testing.T) {
+	d := &Description{
+		URI: "http://kb1.org/New_York_City",
+		KB:  "kb1",
+		Attrs: []Attribute{
+			{"http://kb1.org/label", "New York"},
+			{"http://kb1.org/nick", "Big Apple"},
+		},
+	}
+	got := d.Tokens(tokenize.Default())
+	want := []string{"new", "york", "city", "big", "apple"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokens=%v, want %v", got, want)
+	}
+}
+
+func TestCollectionTokenCache(t *testing.T) {
+	c := loadSample(t)
+	paris, _ := c.IDOf("kb1", "http://kb1.org/Paris")
+	opts := tokenize.Default()
+	t1 := c.Tokens(paris, opts)
+	t2 := c.Tokens(paris, opts)
+	if !reflect.DeepEqual(t1, t2) {
+		t.Error("cache returned different tokens")
+	}
+	// Changing options invalidates the cache.
+	opts2 := opts
+	opts2.MinLength = 6 // drops "paris" (5 runes)
+	t3 := c.Tokens(paris, opts2)
+	if reflect.DeepEqual(t1, t3) {
+		t.Error("options change did not rebuild cache")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := loadSample(t)
+	s := c.Stats()
+	if s.Descriptions != 2 || s.KBs != 1 {
+		t.Errorf("Stats=%+v", s)
+	}
+	if s.Attributes != 3 || s.Links != 1 {
+		t.Errorf("Stats=%+v", s)
+	}
+	if !strings.Contains(s.String(), "descriptions=2") {
+		t.Errorf("String=%q", s.String())
+	}
+}
+
+func TestGroundTruthClasses(t *testing.T) {
+	g := NewGroundTruth()
+	g.AddClass(0, 1)
+	g.AddClass(2, 3)
+	g.AddClass(1, 2) // merges both classes
+	if !g.Match(0, 3) {
+		t.Error("merged class not matching")
+	}
+	if g.Match(0, 4) || g.Match(4, 5) {
+		t.Error("unknown ids must not match")
+	}
+	if g.ClassOf(0) != g.ClassOf(3) {
+		t.Error("ClassOf differs within a class")
+	}
+	if g.ClassOf(99) != -1 {
+		t.Error("unknown ClassOf should be -1")
+	}
+	classes := g.Classes()
+	if len(classes) != 1 || !reflect.DeepEqual(classes[0], []int{0, 1, 2, 3}) {
+		t.Errorf("Classes=%v", classes)
+	}
+	if g.NumMatchingPairs() != 6 {
+		t.Errorf("NumMatchingPairs=%d, want 6", g.NumMatchingPairs())
+	}
+}
+
+func TestGroundTruthCrossKBPairs(t *testing.T) {
+	c := NewCollection()
+	a0 := c.Add(&Description{URI: "x", KB: "a"})
+	a1 := c.Add(&Description{URI: "y", KB: "a"})
+	b0 := c.Add(&Description{URI: "x", KB: "b"})
+	g := NewGroundTruth()
+	g.AddClass(a0, a1, b0) // 3 pairs total, 2 cross-KB
+	if got := g.CrossKBMatchingPairs(c); got != 2 {
+		t.Errorf("CrossKBMatchingPairs=%d, want 2", got)
+	}
+}
+
+func TestLoadSameAs(t *testing.T) {
+	c := NewCollection()
+	c.Add(&Description{URI: "http://kb1.org/Paris", KB: "kb1"})
+	c.Add(&Description{URI: "http://kb2.org/paris_fr", KB: "kb2"})
+	triples, err := rdf.ParseString(
+		`<http://kb1.org/Paris> <http://www.w3.org/2002/07/owl#sameAs> <http://kb2.org/paris_fr> .
+<http://kb1.org/Paris> <http://www.w3.org/2002/07/owl#sameAs> <http://kb3.org/missing> .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroundTruth()
+	missing := g.LoadSameAs(c, triples)
+	if missing != 1 {
+		t.Errorf("missing=%d, want 1", missing)
+	}
+	a, _ := c.IDOf("kb1", "http://kb1.org/Paris")
+	b, _ := c.IDOf("kb2", "http://kb2.org/paris_fr")
+	if !g.Match(a, b) {
+		t.Error("sameAs pair not matched")
+	}
+}
+
+func TestParseSameAs(t *testing.T) {
+	c := NewCollection()
+	c.Add(&Description{URI: "a", KB: "k1"})
+	c.Add(&Description{URI: "b", KB: "k2"})
+	g := NewGroundTruth()
+	_, err := g.ParseSameAs(c, strings.NewReader(`<a> <http://www.w3.org/2002/07/owl#sameAs> <b> .`))
+	if err != nil {
+		t.Fatalf("ParseSameAs: %v", err)
+	}
+	if g.NumMatchingPairs() != 1 {
+		t.Errorf("pairs=%d", g.NumMatchingPairs())
+	}
+	if _, err := g.ParseSameAs(c, strings.NewReader("garbage")); err == nil {
+		t.Error("malformed stream accepted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	c := NewCollection()
+	if err := c.Load("bad", strings.NewReader("not ntriples")); err == nil {
+		t.Error("Load accepted garbage")
+	}
+}
+
+func TestDebugDump(t *testing.T) {
+	c := loadSample(t)
+	var sb strings.Builder
+	c.DebugDump(&sb, 1)
+	out := sb.String()
+	if !strings.Contains(out, "Paris") || strings.Contains(out, "France\" ") {
+		t.Errorf("DebugDump output unexpected:\n%s", out)
+	}
+}
+
+func TestBlankNodeSubjects(t *testing.T) {
+	c := NewCollection()
+	err := c.Load("k", strings.NewReader(`_:b1 <http://p/label> "anon" .`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := c.IDOf("k", "_:b1")
+	if !ok {
+		t.Fatal("blank subject not loaded")
+	}
+	if c.Desc(id).Attrs[0].Value != "anon" {
+		t.Error("blank node attrs wrong")
+	}
+}
+
+func TestBuildProfile(t *testing.T) {
+	c := loadSample(t)
+	p := c.BuildProfile(tokenize.Default())
+	if len(p.PerKB) != 1 || p.PerKB[0].Name != "kb1" {
+		t.Fatalf("PerKB=%v", p.PerKB)
+	}
+	kp := p.PerKB[0]
+	if kp.Descriptions != 2 || kp.Predicates != 2 {
+		t.Errorf("profile=%+v", kp)
+	}
+	if kp.AttrsPerDesc != 1.5 { // 3 attrs over 2 descriptions
+		t.Errorf("AttrsPerDesc=%v", kp.AttrsPerDesc)
+	}
+	if p.DistinctTokens == 0 {
+		t.Error("no tokens profiled")
+	}
+	// Paris links France: one description with degree 1 each.
+	if p.DegreeHistogram[1] != 2 {
+		t.Errorf("degree histogram=%v", p.DegreeHistogram)
+	}
+	var sb strings.Builder
+	p.Fprint(&sb)
+	if !strings.Contains(sb.String(), "kb1") || !strings.Contains(sb.String(), "distinct tokens") {
+		t.Errorf("Fprint output:\n%s", sb.String())
+	}
+}
+
+func TestLoadQuads(t *testing.T) {
+	c := NewCollection()
+	doc := `
+<http://dbp/Paris> <http://dbp/name> "Paris" <http://graphs/dbp> .
+<http://geo/2988> <http://geo/label> "Paris" <http://graphs/geo> .
+<http://x/extra> <http://x/p> "default graph" .
+`
+	if err := c.LoadQuads("crawl", strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumKBs() != 3 {
+		t.Fatalf("NumKBs=%d, want 3 (two graphs + default)", c.NumKBs())
+	}
+	a, okA := c.IDOf("http://graphs/dbp", "http://dbp/Paris")
+	b, okB := c.IDOf("http://graphs/geo", "http://geo/2988")
+	if !okA || !okB {
+		t.Fatal("graph-named KBs missing")
+	}
+	if !c.CrossKB(a, b) {
+		t.Error("different graphs should be different KBs")
+	}
+	if _, ok := c.IDOf("crawl", "http://x/extra"); !ok {
+		t.Error("default-graph statement lost")
+	}
+	if err := c.LoadQuads("crawl", strings.NewReader("garbage")); err == nil {
+		t.Error("malformed quads accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package kb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/tokenize"
+)
+
+// Profile summarizes a collection the way LOD surveys characterize
+// datasets: per-KB sizes, attribute/link densities, token-frequency
+// skew, and link-degree distribution. The datagen CLI prints one so
+// synthetic workloads can be sanity-checked against the
+// center/periphery shape they are meant to have.
+type Profile struct {
+	PerKB []KBProfile
+	// TokenOccurrences maps distinct-token counts: Tokens[k] tokens
+	// appear in exactly k descriptions (k capped at 10, last bucket
+	// "10+").
+	TokenOccurrences [11]int
+	DistinctTokens   int
+	// DegreeHistogram[d] counts descriptions with combined link degree
+	// d (capped at 10).
+	DegreeHistogram [11]int
+}
+
+// KBProfile is one knowledge base's slice of the profile.
+type KBProfile struct {
+	Name          string
+	Descriptions  int
+	AttrsPerDesc  float64
+	LinksPerDesc  float64
+	TokensPerDesc float64
+	Predicates    int
+}
+
+// BuildProfile computes a Profile with the given tokenizer options.
+func (c *Collection) BuildProfile(opts tokenize.Options) *Profile {
+	p := &Profile{}
+	type agg struct {
+		descs, attrs, links, tokens int
+		preds                       map[string]struct{}
+	}
+	perKB := make([]agg, c.NumKBs())
+	tokenDF := make(map[string]int)
+	inDegree := make(map[int]int)
+	for id := 0; id < c.Len(); id++ {
+		d := c.Desc(id)
+		k := c.KBOf(id)
+		a := &perKB[k]
+		if a.preds == nil {
+			a.preds = make(map[string]struct{})
+		}
+		a.descs++
+		a.attrs += len(d.Attrs)
+		for _, at := range d.Attrs {
+			a.preds[at.Predicate] = struct{}{}
+		}
+		toks := c.Tokens(id, opts)
+		a.tokens += len(toks)
+		for _, t := range toks {
+			tokenDF[t]++
+		}
+		ns := c.Neighbors(id)
+		a.links += len(ns)
+		for _, n := range ns {
+			inDegree[n]++
+		}
+	}
+	for k := range perKB {
+		a := &perKB[k]
+		kp := KBProfile{Name: c.KBName(k), Descriptions: a.descs, Predicates: len(a.preds)}
+		if a.descs > 0 {
+			kp.AttrsPerDesc = float64(a.attrs) / float64(a.descs)
+			kp.LinksPerDesc = float64(a.links) / float64(a.descs)
+			kp.TokensPerDesc = float64(a.tokens) / float64(a.descs)
+		}
+		p.PerKB = append(p.PerKB, kp)
+	}
+	sort.Slice(p.PerKB, func(i, j int) bool { return p.PerKB[i].Name < p.PerKB[j].Name })
+	p.DistinctTokens = len(tokenDF)
+	for _, df := range tokenDF {
+		p.TokenOccurrences[bucket(df)]++
+	}
+	for id := 0; id < c.Len(); id++ {
+		deg := len(c.Neighbors(id)) + inDegree[id]
+		p.DegreeHistogram[bucket(deg)]++
+	}
+	return p
+}
+
+func bucket(x int) int {
+	if x > 10 {
+		return 10
+	}
+	return x
+}
+
+// Fprint renders the profile as readable text.
+func (p *Profile) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "KB profile:")
+	fmt.Fprintf(w, "  %-12s %8s %8s %8s %8s %8s\n",
+		"kb", "descs", "attrs/d", "links/d", "toks/d", "preds")
+	for _, kp := range p.PerKB {
+		fmt.Fprintf(w, "  %-12s %8d %8.2f %8.2f %8.2f %8d\n",
+			kp.Name, kp.Descriptions, kp.AttrsPerDesc, kp.LinksPerDesc, kp.TokensPerDesc, kp.Predicates)
+	}
+	fmt.Fprintf(w, "  distinct tokens: %d\n", p.DistinctTokens)
+	fmt.Fprint(w, "  token df histogram (1..10+):")
+	for i := 1; i <= 10; i++ {
+		fmt.Fprintf(w, " %d", p.TokenOccurrences[i])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "  link degree histogram (0..10+):")
+	for i := 0; i <= 10; i++ {
+		fmt.Fprintf(w, " %d", p.DegreeHistogram[i])
+	}
+	fmt.Fprintln(w)
+}

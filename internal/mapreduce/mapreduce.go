@@ -1,0 +1,295 @@
+// Package mapreduce is a deterministic in-process MapReduce engine.
+// It stands in for the Hadoop cluster the paper's blocking and
+// meta-blocking layers run on ([4], [5]): jobs are expressed as
+// map / combine / partition / reduce functions, executed by a
+// configurable pool of workers with a real shuffle phase, so the
+// parallel algorithms exercise the same dataflow they would on a
+// cluster — at laptop scale and bit-for-bit reproducibly.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// KV is one key–value record flowing between phases.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// MapFunc consumes one input record and emits intermediate KVs.
+type MapFunc func(input string, emit func(KV)) error
+
+// ReduceFunc consumes one key's grouped values (sorted) and emits
+// output KVs. It is also the combiner signature.
+type ReduceFunc func(key string, values []string, emit func(KV)) error
+
+// Config tunes job execution.
+type Config struct {
+	// Workers is the map/reduce parallelism (default 1).
+	Workers int
+	// Partitions is the number of shuffle partitions
+	// (default = Workers).
+	Partitions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = c.Workers
+	}
+	return c
+}
+
+// Job is one MapReduce job.
+type Job struct {
+	Name string
+	Map  MapFunc
+	// Combine optionally pre-aggregates each map task's output per key
+	// before the shuffle, like a Hadoop combiner. May be nil.
+	Combine ReduceFunc
+	Reduce  ReduceFunc
+}
+
+// Counters collects named metrics across tasks, like Hadoop counters.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// Add increments a counter.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+}
+
+// Get returns a counter's value.
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Result is a completed job's output.
+type Result struct {
+	// Output holds the reduce output sorted by (Key, Value) —
+	// deterministic regardless of worker count.
+	Output []KV
+	// Counters aggregates the engine's built-in metrics:
+	// "map.in", "map.out", "shuffle.keys", "reduce.out".
+	Counters *Counters
+}
+
+// Run executes the job over the inputs. The engine guarantees that the
+// output is identical for any worker count: partitioning is by key
+// hash, groups are value-sorted before reduction, and the final output
+// is globally sorted.
+func Run(job Job, inputs []string, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if job.Map == nil || job.Reduce == nil {
+		return nil, fmt.Errorf("mapreduce: job %q needs Map and Reduce", job.Name)
+	}
+	counters := &Counters{}
+
+	// --- Map phase -------------------------------------------------
+	// Inputs are dealt round-robin into one split per worker.
+	splits := make([][]string, cfg.Workers)
+	for i, in := range inputs {
+		w := i % cfg.Workers
+		splits[w] = append(splits[w], in)
+	}
+	// Each map task partitions its emissions by key hash.
+	type taskOut struct {
+		parts [][]KV
+		err   error
+	}
+	outs := make([]taskOut, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			parts := make([][]KV, cfg.Partitions)
+			emit := func(kv KV) {
+				p := partition(kv.Key, cfg.Partitions)
+				parts[p] = append(parts[p], kv)
+			}
+			for _, in := range splits[w] {
+				counters.Add("map.in", 1)
+				if err := job.Map(in, emit); err != nil {
+					outs[w].err = fmt.Errorf("mapreduce: %s map: %w", job.Name, err)
+					return
+				}
+			}
+			if job.Combine != nil {
+				for p := range parts {
+					combined, err := combine(job.Combine, parts[p])
+					if err != nil {
+						outs[w].err = fmt.Errorf("mapreduce: %s combine: %w", job.Name, err)
+						return
+					}
+					parts[p] = combined
+				}
+			}
+			for _, p := range parts {
+				counters.Add("map.out", int64(len(p)))
+			}
+			outs[w].parts = parts
+		}(w)
+	}
+	wg.Wait()
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+	}
+
+	// --- Shuffle phase ---------------------------------------------
+	// Merge every map task's slice for each partition, then group by
+	// key with values sorted (determinism).
+	groups := make([]map[string][]string, cfg.Partitions)
+	for p := 0; p < cfg.Partitions; p++ {
+		g := make(map[string][]string)
+		for w := 0; w < cfg.Workers; w++ {
+			if outs[w].parts == nil {
+				continue
+			}
+			for _, kv := range outs[w].parts[p] {
+				g[kv.Key] = append(g[kv.Key], kv.Value)
+			}
+		}
+		for _, vs := range g {
+			sort.Strings(vs)
+		}
+		counters.Add("shuffle.keys", int64(len(g)))
+		groups[p] = g
+	}
+
+	// --- Reduce phase ----------------------------------------------
+	type redOut struct {
+		kvs []KV
+		err error
+	}
+	reds := make([]redOut, cfg.Partitions)
+	sem := make(chan struct{}, cfg.Workers)
+	var rwg sync.WaitGroup
+	for p := 0; p < cfg.Partitions; p++ {
+		rwg.Add(1)
+		go func(p int) {
+			defer rwg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			keys := make([]string, 0, len(groups[p]))
+			for k := range groups[p] {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			emit := func(kv KV) { reds[p].kvs = append(reds[p].kvs, kv) }
+			for _, k := range keys {
+				if err := job.Reduce(k, groups[p][k], emit); err != nil {
+					reds[p].err = fmt.Errorf("mapreduce: %s reduce: %w", job.Name, err)
+					return
+				}
+			}
+		}(p)
+	}
+	rwg.Wait()
+
+	var out []KV
+	for _, r := range reds {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.kvs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Value < out[j].Value
+	})
+	counters.Add("reduce.out", int64(len(out)))
+	return &Result{Output: out, Counters: counters}, nil
+}
+
+// combine groups a single map task's emissions by key and runs the
+// combiner on each group.
+func combine(fn ReduceFunc, kvs []KV) ([]KV, error) {
+	byKey := make(map[string][]string)
+	for _, kv := range kvs {
+		byKey[kv.Key] = append(byKey[kv.Key], kv.Value)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []KV
+	emit := func(kv KV) { out = append(out, kv) }
+	for _, k := range keys {
+		vs := byKey[k]
+		sort.Strings(vs)
+		if err := fn(k, vs, emit); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func partition(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Chain runs a sequence of jobs, feeding each job's output keys+values
+// to the next as "key\x00value" input records. Decode with SplitRecord.
+func Chain(jobs []Job, inputs []string, cfg Config) (*Result, error) {
+	cur := inputs
+	var res *Result
+	for _, j := range jobs {
+		var err error
+		res, err = Run(j, cur, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cur = make([]string, len(res.Output))
+		for i, kv := range res.Output {
+			cur[i] = kv.Key + "\x00" + kv.Value
+		}
+	}
+	if res == nil {
+		return nil, fmt.Errorf("mapreduce: empty chain")
+	}
+	return res, nil
+}
+
+// SplitRecord decodes a chained record back into key and value.
+func SplitRecord(rec string) (key, value string) {
+	for i := 0; i < len(rec); i++ {
+		if rec[i] == 0 {
+			return rec[:i], rec[i+1:]
+		}
+	}
+	return rec, ""
+}

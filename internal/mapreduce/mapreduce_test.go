@@ -1,0 +1,245 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// wordCount is the canonical test job.
+func wordCount() Job {
+	return Job{
+		Name: "wordcount",
+		Map: func(input string, emit func(KV)) error {
+			for _, w := range strings.Fields(input) {
+				emit(KV{Key: w, Value: "1"})
+			}
+			return nil
+		},
+		Combine: sumReducer,
+		Reduce:  sumReducer,
+	}
+}
+
+func sumReducer(key string, values []string, emit func(KV)) error {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad count %q: %w", v, err)
+		}
+		total += n
+	}
+	emit(KV{Key: key, Value: strconv.Itoa(total)})
+	return nil
+}
+
+func TestWordCount(t *testing.T) {
+	inputs := []string{"the quick brown fox", "the lazy dog", "the fox"}
+	res, err := Run(wordCount(), inputs, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []KV{
+		{"brown", "1"}, {"dog", "1"}, {"fox", "2"},
+		{"lazy", "1"}, {"quick", "1"}, {"the", "3"},
+	}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("output=%v\nwant %v", res.Output, want)
+	}
+	if res.Counters.Get("map.in") != 3 {
+		t.Errorf("map.in=%d", res.Counters.Get("map.in"))
+	}
+	if res.Counters.Get("reduce.out") != 6 {
+		t.Errorf("reduce.out=%d", res.Counters.Get("reduce.out"))
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	var inputs []string
+	for i := 0; i < 200; i++ {
+		inputs = append(inputs, fmt.Sprintf("w%d shared w%d", i%17, i%5))
+	}
+	var base []KV
+	for _, workers := range []int{1, 2, 4, 8} {
+		res, err := Run(wordCount(), inputs, Config{Workers: workers, Partitions: workers * 2})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if base == nil {
+			base = res.Output
+			continue
+		}
+		if !reflect.DeepEqual(res.Output, base) {
+			t.Errorf("workers=%d output differs from workers=1", workers)
+		}
+	}
+}
+
+func TestCombinerReducesShuffleVolume(t *testing.T) {
+	inputs := make([]string, 50)
+	for i := range inputs {
+		inputs[i] = "same same same"
+	}
+	with, err := Run(wordCount(), inputs, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noCombine := wordCount()
+	noCombine.Combine = nil
+	without, err := Run(noCombine, inputs, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(with.Output, without.Output) {
+		t.Error("combiner changed the result")
+	}
+	if with.Counters.Get("map.out") >= without.Counters.Get("map.out") {
+		t.Errorf("combiner did not shrink map output: %d vs %d",
+			with.Counters.Get("map.out"), without.Counters.Get("map.out"))
+	}
+}
+
+func TestMapError(t *testing.T) {
+	job := Job{
+		Name: "boom",
+		Map: func(input string, emit func(KV)) error {
+			if input == "bad" {
+				return errors.New("exploded")
+			}
+			emit(KV{Key: input, Value: "1"})
+			return nil
+		},
+		Reduce: sumReducer,
+	}
+	_, err := Run(job, []string{"ok", "bad"}, Config{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "exploded") {
+		t.Errorf("err=%v", err)
+	}
+}
+
+func TestReduceError(t *testing.T) {
+	job := wordCount()
+	job.Combine = nil
+	job.Reduce = func(key string, values []string, emit func(KV)) error {
+		return errors.New("reduce failed")
+	}
+	if _, err := Run(job, []string{"a"}, Config{}); err == nil {
+		t.Error("reduce error swallowed")
+	}
+}
+
+func TestMissingFuncs(t *testing.T) {
+	if _, err := Run(Job{Name: "nil"}, nil, Config{}); err == nil {
+		t.Error("nil Map/Reduce accepted")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	res, err := Run(wordCount(), nil, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 0 {
+		t.Errorf("output=%v", res.Output)
+	}
+}
+
+func TestChain(t *testing.T) {
+	// Job 1: word count. Job 2: bucket words by their count.
+	invert := Job{
+		Name: "invert",
+		Map: func(input string, emit func(KV)) error {
+			word, count := SplitRecord(input)
+			emit(KV{Key: count, Value: word})
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(KV)) error {
+			emit(KV{Key: key, Value: strings.Join(values, ",")})
+			return nil
+		},
+	}
+	res, err := Chain([]Job{wordCount(), invert}, []string{"a b a", "c b a"}, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []KV{{"1", "c"}, {"2", "b"}, {"3", "a"}}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("chain output=%v, want %v", res.Output, want)
+	}
+	if _, err := Chain(nil, nil, Config{}); err == nil {
+		t.Error("empty chain accepted")
+	}
+}
+
+func TestSplitRecord(t *testing.T) {
+	k, v := SplitRecord("key\x00value")
+	if k != "key" || v != "value" {
+		t.Errorf("got %q %q", k, v)
+	}
+	k, v = SplitRecord("noseparator")
+	if k != "noseparator" || v != "" {
+		t.Errorf("got %q %q", k, v)
+	}
+}
+
+func TestCountersConcurrency(t *testing.T) {
+	job := Job{
+		Name: "counting",
+		Map: func(input string, emit func(KV)) error {
+			emit(KV{Key: input, Value: "1"})
+			return nil
+		},
+		Reduce: sumReducer,
+	}
+	inputs := make([]string, 1000)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("k%d", i%7)
+	}
+	res, err := Run(job, inputs, Config{Workers: 8, Partitions: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Get("map.in") != 1000 {
+		t.Errorf("map.in=%d", res.Counters.Get("map.in"))
+	}
+	snap := res.Counters.Snapshot()
+	if snap["map.in"] != 1000 {
+		t.Errorf("snapshot=%v", snap)
+	}
+}
+
+// Property: word counting via MapReduce agrees with a sequential count
+// for any inputs and any worker count.
+func TestMatchesSequential(t *testing.T) {
+	f := func(lines []string, w8 uint8) bool {
+		workers := int(w8%8) + 1
+		ref := map[string]int{}
+		for _, l := range lines {
+			for _, word := range strings.Fields(l) {
+				ref[word]++
+			}
+		}
+		res, err := Run(wordCount(), lines, Config{Workers: workers})
+		if err != nil {
+			return false
+		}
+		if len(res.Output) != len(ref) {
+			return false
+		}
+		for _, kv := range res.Output {
+			n, err := strconv.Atoi(kv.Value)
+			if err != nil || ref[kv.Key] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

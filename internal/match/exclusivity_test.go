@@ -1,0 +1,87 @@
+package match
+
+import (
+	"testing"
+
+	"repro/internal/kb"
+)
+
+// exclusivityWorld: KB a has one "acme" description linked to a hub;
+// KB b has two near-identical "acme" descriptions. Once a0 matches b0,
+// partner exclusivity must block a structure-assisted match to b1.
+func exclusivityWorld() *kb.Collection {
+	c := kb.NewCollection()
+	c.Add(&kb.Description{URI: "a0", KB: "a",
+		Attrs: []kb.Attribute{{Predicate: "p", Value: "acme corporation global"}},
+		Links: []string{"a9"}})
+	c.Add(&kb.Description{URI: "a9", KB: "a",
+		Attrs: []kb.Attribute{{Predicate: "p", Value: "hub node central"}}})
+	c.Add(&kb.Description{URI: "b0", KB: "b",
+		Attrs: []kb.Attribute{{Predicate: "q", Value: "acme corporation global"}},
+		Links: []string{"b9"}})
+	// b1 shares a weak token with a0 but is a different entity.
+	c.Add(&kb.Description{URI: "b1", KB: "b",
+		Attrs: []kb.Attribute{{Predicate: "q", Value: "acme unrelated retailer"}},
+		Links: []string{"b9"}})
+	c.Add(&kb.Description{URI: "b9", KB: "b",
+		Attrs: []kb.Attribute{{Predicate: "q", Value: "hub node central"}}})
+	return c
+}
+
+func TestPartnerExclusivityBlocksSecondPartner(t *testing.T) {
+	c := exclusivityWorld()
+	m := NewMatcher(c, DefaultOptions())
+	cl := NewClustersFor(c)
+	a0, _ := c.IDOf("a", "a0")
+	a9, _ := c.IDOf("a", "a9")
+	b0, _ := c.IDOf("b", "b0")
+	b1, _ := c.IDOf("b", "b1")
+	b9, _ := c.IDOf("b", "b9")
+
+	// Resolve the hub pair and the true acme pair.
+	cl.Merge(a9, b9)
+	if _, ok := m.Decide(a0, b0, cl); !ok {
+		t.Fatal("true acme pair rejected")
+	}
+	cl.Merge(a0, b0)
+
+	// b1 now has full neighbor evidence (both link to the resolved
+	// hub) and some value overlap — but a0 already has a partner in b.
+	v := m.ValueSim(a0, b1)
+	if v >= m.Options().Threshold {
+		t.Skipf("fixture too similar (v=%.3f); exclusivity only guards structure-assisted matches", v)
+	}
+	if score, ok := m.Decide(a0, b1, cl); ok {
+		t.Errorf("second partner accepted (score=%.3f, v=%.3f)", score, v)
+	}
+}
+
+func TestExclusivityInactiveWithoutTracking(t *testing.T) {
+	c := exclusivityWorld()
+	cl := NewClusters(c.Len()) // no KB tracking
+	if cl.HasKB(0, 1) {
+		t.Error("untracked clusters report KB membership")
+	}
+}
+
+func TestClustersKBMaskMaintenance(t *testing.T) {
+	c := exclusivityWorld()
+	cl := NewClustersFor(c)
+	a0, _ := c.IDOf("a", "a0")
+	b0, _ := c.IDOf("b", "b0")
+	b1, _ := c.IDOf("b", "b1")
+	kbA := c.KBOf(a0)
+	kbB := c.KBOf(b0)
+	if !cl.HasKB(a0, kbA) || cl.HasKB(a0, kbB) {
+		t.Error("initial masks wrong")
+	}
+	cl.Merge(a0, b0)
+	if !cl.HasKB(a0, kbB) || !cl.HasKB(b0, kbA) {
+		t.Error("merge did not union masks")
+	}
+	// Mask survives further merges through either member.
+	cl.Merge(b0, b1)
+	if !cl.HasKB(b1, kbA) {
+		t.Error("transitive mask lost")
+	}
+}

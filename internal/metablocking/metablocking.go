@@ -1,0 +1,388 @@
+// Package metablocking restructures a block collection into its
+// blocking graph and prunes it, eliminating the repeated and
+// low-evidence comparisons that token blocking inevitably produces.
+//
+// Nodes are description ids; an edge connects every distinct candidate
+// pair (each pair once, however many blocks it co-occurs in). Edges are
+// weighted by co-occurrence evidence under one of five schemes (CBS,
+// ECBS, JS, EJS, ARCS) and pruned by one of four algorithms:
+//
+//	WEP — weight edge pruning: keep edges above the global mean weight.
+//	CEP — cardinality edge pruning: keep the globally top-K edges.
+//	WNP — weight node pruning: keep edges above a node-local threshold.
+//	CNP — cardinality node pruning: keep each node's top-k edges.
+//
+// The node-centric schemes retain an edge if either endpoint retains
+// it (the "redefined" variants of Papadakis et al.); Reciprocal
+// switches them to requiring both endpoints.
+package metablocking
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/blocking"
+	"repro/internal/container"
+)
+
+// Scheme selects the edge-weighting function.
+type Scheme int
+
+const (
+	// CBS weighs an edge by its number of common blocks.
+	CBS Scheme = iota
+	// ECBS is CBS discounted by how many blocks each endpoint occupies:
+	// CBS·log(|B|/|Ba|)·log(|B|/|Bb|).
+	ECBS
+	// JS is the Jaccard coefficient of the endpoints' block sets.
+	JS
+	// EJS is JS boosted by endpoint degrees:
+	// JS·log(|E|/deg(a))·log(|E|/deg(b)).
+	EJS
+	// ARCS sums the reciprocal comparison cardinality of common blocks:
+	// Σ 1/||b||; co-occurrence in small blocks is strong evidence.
+	ARCS
+)
+
+// String returns the scheme's conventional acronym.
+func (s Scheme) String() string {
+	switch s {
+	case CBS:
+		return "CBS"
+	case ECBS:
+		return "ECBS"
+	case JS:
+		return "JS"
+	case EJS:
+		return "EJS"
+	case ARCS:
+		return "ARCS"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Schemes lists all weighting schemes, for sweeps.
+func Schemes() []Scheme { return []Scheme{CBS, ECBS, JS, EJS, ARCS} }
+
+// Edge is one weighted candidate comparison (A < B).
+type Edge struct {
+	A, B   int
+	Weight float64
+}
+
+// Graph is the blocking graph of a block collection.
+type Graph struct {
+	// Edges holds every distinct candidate pair, sorted by (A, B).
+	Edges []Edge
+	// NumNodes is the size of the underlying description collection.
+	NumNodes int
+
+	common []int     // common-block count per edge
+	arcs   []float64 // Σ 1/||b|| per edge
+	blocks []int32   // blocks-per-node |Bv|
+	degree []int32   // distinct neighbors per node
+	nBlock int       // total number of blocks
+}
+
+// Build constructs the blocking graph and computes edge weights under
+// the given scheme.
+func Build(col *blocking.Collection, scheme Scheme) *Graph {
+	g := &Graph{NumNodes: col.Source.Len(), nBlock: col.NumBlocks()}
+	g.blocks = make([]int32, g.NumNodes)
+	type stat struct {
+		common int
+		arcs   float64
+	}
+	stats := make(map[blocking.Pair]*stat)
+	for i := range col.Blocks {
+		b := &col.Blocks[i]
+		cmp := b.Comparisons(col.Source, col.CleanClean)
+		for _, id := range b.Entities {
+			g.blocks[id]++
+		}
+		if cmp == 0 {
+			continue
+		}
+		inv := 1 / float64(cmp)
+		for x := 0; x < len(b.Entities); x++ {
+			for y := x + 1; y < len(b.Entities); y++ {
+				a, bb := b.Entities[x], b.Entities[y]
+				if col.CleanClean && !col.Source.CrossKB(a, bb) {
+					continue
+				}
+				p := blocking.MakePair(a, bb)
+				s := stats[p]
+				if s == nil {
+					s = &stat{}
+					stats[p] = s
+				}
+				s.common++
+				s.arcs += inv
+			}
+		}
+	}
+	g.Edges = make([]Edge, 0, len(stats))
+	g.common = make([]int, 0, len(stats))
+	g.arcs = make([]float64, 0, len(stats))
+	pairs := make([]blocking.Pair, 0, len(stats))
+	for p := range stats {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	g.degree = make([]int32, g.NumNodes)
+	for _, p := range pairs {
+		s := stats[p]
+		g.Edges = append(g.Edges, Edge{A: p.A, B: p.B})
+		g.common = append(g.common, s.common)
+		g.arcs = append(g.arcs, s.arcs)
+		g.degree[p.A]++
+		g.degree[p.B]++
+	}
+	g.reweigh(scheme)
+	return g
+}
+
+// Reweigh recomputes edge weights under a different scheme without
+// rebuilding the graph.
+func (g *Graph) Reweigh(scheme Scheme) { g.reweigh(scheme) }
+
+func (g *Graph) reweigh(scheme Scheme) {
+	nEdges := float64(len(g.Edges))
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		cbs := float64(g.common[i])
+		ba, bb := float64(g.blocks[e.A]), float64(g.blocks[e.B])
+		switch scheme {
+		case CBS:
+			e.Weight = cbs
+		case ECBS:
+			e.Weight = cbs * safeLog(float64(g.nBlock)/ba) * safeLog(float64(g.nBlock)/bb)
+		case JS:
+			e.Weight = cbs / (ba + bb - cbs)
+		case EJS:
+			js := cbs / (ba + bb - cbs)
+			e.Weight = js * safeLog(nEdges/float64(g.degree[e.A])) * safeLog(nEdges/float64(g.degree[e.B]))
+		case ARCS:
+			e.Weight = g.arcs[i]
+		}
+	}
+}
+
+// safeLog guards against log of ratios ≤ 1 collapsing evidence to
+// zero or negative: weights must stay non-negative.
+func safeLog(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log(x)
+}
+
+// NumEdges returns the number of distinct candidate comparisons.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Pruning selects the pruning algorithm.
+type Pruning int
+
+const (
+	// WEP keeps edges whose weight is at least the global mean.
+	WEP Pruning = iota
+	// CEP keeps the K globally heaviest edges, K = Σ|b|/2 by default.
+	CEP
+	// WNP keeps edges at or above the mean weight of either endpoint's
+	// neighborhood.
+	WNP
+	// CNP keeps edges in the top-k of either endpoint, k = avg blocks
+	// per entity.
+	CNP
+)
+
+// String returns the pruning algorithm's acronym.
+func (p Pruning) String() string {
+	switch p {
+	case WEP:
+		return "WEP"
+	case CEP:
+		return "CEP"
+	case WNP:
+		return "WNP"
+	case CNP:
+		return "CNP"
+	default:
+		return fmt.Sprintf("Pruning(%d)", int(p))
+	}
+}
+
+// Prunings lists all pruning algorithms, for sweeps.
+func Prunings() []Pruning { return []Pruning{WEP, CEP, WNP, CNP} }
+
+// PruneOptions tunes pruning.
+type PruneOptions struct {
+	// K overrides CEP's edge budget (0 = Σ block assignments / 2).
+	K int
+	// KPerNode overrides CNP's per-node budget (0 = ⌈assignments/|V|⌉).
+	KPerNode int
+	// Reciprocal requires both endpoints to retain an edge in WNP/CNP
+	// instead of either.
+	Reciprocal bool
+	// Assignments is Σ|b| of the source blocks, used for default
+	// budgets. Required when K or KPerNode are 0 and pruning is
+	// cardinality-based.
+	Assignments int
+}
+
+// Prune returns the retained edges under the chosen algorithm, sorted
+// by descending weight (ties by (A,B) ascending) — the order a
+// budget-driven matcher would consume them in.
+func (g *Graph) Prune(alg Pruning, opts PruneOptions) []Edge {
+	var kept []Edge
+	switch alg {
+	case WEP:
+		kept = g.pruneWEP()
+	case CEP:
+		kept = g.pruneCEP(opts)
+	case WNP:
+		kept = g.pruneWNP(opts.Reciprocal)
+	case CNP:
+		kept = g.pruneCNP(opts)
+	}
+	sortEdges(kept)
+	return kept
+}
+
+func sortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Weight != es[j].Weight {
+			return es[i].Weight > es[j].Weight
+		}
+		if es[i].A != es[j].A {
+			return es[i].A < es[j].A
+		}
+		return es[i].B < es[j].B
+	})
+}
+
+func (g *Graph) pruneWEP() []Edge {
+	if len(g.Edges) == 0 {
+		return nil
+	}
+	sum := 0.0
+	for _, e := range g.Edges {
+		sum += e.Weight
+	}
+	mean := sum / float64(len(g.Edges))
+	var kept []Edge
+	for _, e := range g.Edges {
+		if e.Weight >= mean {
+			kept = append(kept, e)
+		}
+	}
+	return kept
+}
+
+func (g *Graph) pruneCEP(opts PruneOptions) []Edge {
+	k := opts.K
+	if k <= 0 {
+		k = opts.Assignments / 2
+	}
+	if k <= 0 {
+		k = len(g.Edges)
+	}
+	top := container.NewBoundedTopK(k, func(a, b Edge) bool {
+		if a.Weight != b.Weight {
+			return a.Weight < b.Weight
+		}
+		// Deterministic tie-break: later (A,B) ranks lower.
+		if a.A != b.A {
+			return a.A > b.A
+		}
+		return a.B > b.B
+	})
+	for _, e := range g.Edges {
+		top.Offer(e)
+	}
+	return top.Drain()
+}
+
+// neighborhoods returns, for every node, the indices of its incident
+// edges.
+func (g *Graph) neighborhoods() [][]int32 {
+	adj := make([][]int32, g.NumNodes)
+	for i, e := range g.Edges {
+		adj[e.A] = append(adj[e.A], int32(i))
+		adj[e.B] = append(adj[e.B], int32(i))
+	}
+	return adj
+}
+
+func (g *Graph) pruneWNP(reciprocal bool) []Edge {
+	adj := g.neighborhoods()
+	retainedBy := make([]uint8, len(g.Edges)) // count of endpoints retaining
+	for _, edges := range adj {
+		if len(edges) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, ei := range edges {
+			sum += g.Edges[ei].Weight
+		}
+		mean := sum / float64(len(edges))
+		for _, ei := range edges {
+			if g.Edges[ei].Weight >= mean {
+				retainedBy[ei]++
+			}
+		}
+	}
+	return g.collect(retainedBy, reciprocal)
+}
+
+func (g *Graph) pruneCNP(opts PruneOptions) []Edge {
+	k := opts.KPerNode
+	if k <= 0 && g.NumNodes > 0 {
+		k = (opts.Assignments + g.NumNodes - 1) / g.NumNodes
+	}
+	if k <= 0 {
+		k = 1
+	}
+	adj := g.neighborhoods()
+	retainedBy := make([]uint8, len(g.Edges))
+	for _, edges := range adj {
+		if len(edges) == 0 {
+			continue
+		}
+		top := container.NewBoundedTopK(k, func(a, b int32) bool {
+			ea, eb := g.Edges[a], g.Edges[b]
+			if ea.Weight != eb.Weight {
+				return ea.Weight < eb.Weight
+			}
+			return a > b
+		})
+		for _, ei := range edges {
+			top.Offer(ei)
+		}
+		for _, ei := range top.Drain() {
+			retainedBy[ei]++
+		}
+	}
+	return g.collect(retainedBy, opts.Reciprocal)
+}
+
+func (g *Graph) collect(retainedBy []uint8, reciprocal bool) []Edge {
+	need := uint8(1)
+	if reciprocal {
+		need = 2
+	}
+	var kept []Edge
+	for i, n := range retainedBy {
+		if n >= need {
+			kept = append(kept, g.Edges[i])
+		}
+	}
+	return kept
+}

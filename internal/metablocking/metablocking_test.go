@@ -1,0 +1,264 @@
+package metablocking
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blocking"
+	"repro/internal/datagen"
+	"repro/internal/kb"
+	"repro/internal/tokenize"
+)
+
+// fixture: KB a = {0:"x y", 1:"y z"}, KB b = {2:"x y", 3:"w z"}.
+// Blocks: x:{0,2} y:{0,1,2} z:{1,3} w:{-} (singleton dropped).
+func fixture(t *testing.T) *blocking.Collection {
+	t.Helper()
+	c := kb.NewCollection()
+	c.Add(&kb.Description{URI: "a0", KB: "a", Attrs: []kb.Attribute{{Predicate: "p", Value: "xx yy"}}})
+	c.Add(&kb.Description{URI: "a1", KB: "a", Attrs: []kb.Attribute{{Predicate: "p", Value: "yy zz"}}})
+	c.Add(&kb.Description{URI: "b2", KB: "b", Attrs: []kb.Attribute{{Predicate: "p", Value: "xx yy"}}})
+	c.Add(&kb.Description{URI: "b3", KB: "b", Attrs: []kb.Attribute{{Predicate: "p", Value: "ww zz"}}})
+	return blocking.TokenBlocking(c, tokenize.Default())
+}
+
+func edgeMap(es []Edge) map[[2]int]float64 {
+	m := make(map[[2]int]float64, len(es))
+	for _, e := range es {
+		m[[2]int{e.A, e.B}] = e.Weight
+	}
+	return m
+}
+
+func TestBuildCBS(t *testing.T) {
+	g := Build(fixture(t), CBS)
+	// Candidate cross-KB pairs: (0,2) via xx+yy, (0,3) none... check:
+	// blocks: xx:{0,2}, yy:{0,1,2}, zz:{1,3}. Cross-KB pairs: (0,2) twice,
+	// (1,2) once, (1,3) once.
+	em := edgeMap(g.Edges)
+	if len(em) != 3 {
+		t.Fatalf("edges=%v", em)
+	}
+	if em[[2]int{0, 2}] != 2 || em[[2]int{1, 2}] != 1 || em[[2]int{1, 3}] != 1 {
+		t.Errorf("CBS weights wrong: %v", em)
+	}
+}
+
+func TestWeightingSchemes(t *testing.T) {
+	col := fixture(t)
+	g := Build(col, JS)
+	em := edgeMap(g.Edges)
+	// |B0|=2 (xx,yy), |B2|=2, common=2 → JS = 2/(2+2-2) = 1.
+	if math.Abs(em[[2]int{0, 2}]-1) > 1e-9 {
+		t.Errorf("JS(0,2)=%v, want 1", em[[2]int{0, 2}])
+	}
+	// |B1|=2 (yy,zz), |B3|=1 (zz), common=1 → JS = 1/2.
+	if math.Abs(em[[2]int{1, 3}]-0.5) > 1e-9 {
+		t.Errorf("JS(1,3)=%v, want 0.5", em[[2]int{1, 3}])
+	}
+
+	g.Reweigh(ARCS)
+	em = edgeMap(g.Edges)
+	// xx has 1 comparison, yy has 2 cross-KB comparisons, zz has 1.
+	// ARCS(0,2) = 1/1 + 1/2 = 1.5; ARCS(1,3) = 1/1 = 1.
+	if math.Abs(em[[2]int{0, 2}]-1.5) > 1e-9 {
+		t.Errorf("ARCS(0,2)=%v, want 1.5", em[[2]int{0, 2}])
+	}
+	if math.Abs(em[[2]int{1, 3}]-1.0) > 1e-9 {
+		t.Errorf("ARCS(1,3)=%v, want 1", em[[2]int{1, 3}])
+	}
+}
+
+func TestSchemeOrdering(t *testing.T) {
+	// On every scheme, the "obviously right" pair (0,2) — two shared
+	// rare tokens — must outweigh (1,2) — one shared frequent token.
+	col := fixture(t)
+	for _, s := range Schemes() {
+		g := Build(col, s)
+		em := edgeMap(g.Edges)
+		if em[[2]int{0, 2}] < em[[2]int{1, 2}] {
+			t.Errorf("%v: weight(0,2)=%v < weight(1,2)=%v", s, em[[2]int{0, 2}], em[[2]int{1, 2}])
+		}
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if CBS.String() != "CBS" || ECBS.String() != "ECBS" || JS.String() != "JS" ||
+		EJS.String() != "EJS" || ARCS.String() != "ARCS" {
+		t.Error("scheme names wrong")
+	}
+	if WEP.String() != "WEP" || CEP.String() != "CEP" || WNP.String() != "WNP" || CNP.String() != "CNP" {
+		t.Error("pruning names wrong")
+	}
+	if Scheme(99).String() == "" || Pruning(99).String() == "" {
+		t.Error("unknown enums should still render")
+	}
+}
+
+func TestWEP(t *testing.T) {
+	g := Build(fixture(t), CBS)
+	kept := g.Prune(WEP, PruneOptions{})
+	// Weights 2,1,1; mean = 4/3; only (0,2) survives.
+	if len(kept) != 1 || kept[0].A != 0 || kept[0].B != 2 {
+		t.Errorf("WEP kept %v", kept)
+	}
+}
+
+func TestCEP(t *testing.T) {
+	g := Build(fixture(t), CBS)
+	kept := g.Prune(CEP, PruneOptions{K: 2})
+	if len(kept) != 2 {
+		t.Fatalf("CEP(K=2) kept %d edges", len(kept))
+	}
+	if kept[0].Weight < kept[1].Weight {
+		t.Error("edges not sorted by descending weight")
+	}
+	if kept[0].A != 0 || kept[0].B != 2 {
+		t.Errorf("heaviest edge wrong: %v", kept[0])
+	}
+	// Default budget from assignments.
+	col := fixture(t)
+	kept = g.Prune(CEP, PruneOptions{Assignments: col.Assignments()})
+	if len(kept) == 0 || len(kept) > g.NumEdges() {
+		t.Errorf("CEP default kept %d", len(kept))
+	}
+}
+
+func TestWNPAndReciprocal(t *testing.T) {
+	g := Build(fixture(t), CBS)
+	either := g.Prune(WNP, PruneOptions{})
+	both := g.Prune(WNP, PruneOptions{Reciprocal: true})
+	if len(both) > len(either) {
+		t.Errorf("reciprocal WNP kept more (%d) than redefined (%d)", len(both), len(either))
+	}
+	// Node 3's only edge is (1,3): locally retained. Node 1 has edges
+	// (1,2) and (1,3) with equal weight 1 → both ≥ mean → retained.
+	// So (1,3) survives reciprocal WNP.
+	found := false
+	for _, e := range both {
+		if e.A == 1 && e.B == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reciprocal WNP lost (1,3): %v", both)
+	}
+}
+
+func TestCNP(t *testing.T) {
+	g := Build(fixture(t), CBS)
+	kept := g.Prune(CNP, PruneOptions{KPerNode: 1})
+	// Every node keeps its single heaviest edge; union of those.
+	if len(kept) == 0 {
+		t.Fatal("CNP kept nothing")
+	}
+	top := kept[0]
+	if top.A != 0 || top.B != 2 {
+		t.Errorf("CNP top edge %v", top)
+	}
+	// KPerNode large → everything survives.
+	all := g.Prune(CNP, PruneOptions{KPerNode: 100})
+	if len(all) != g.NumEdges() {
+		t.Errorf("CNP with huge k kept %d of %d", len(all), g.NumEdges())
+	}
+}
+
+func TestPruneEmptyGraph(t *testing.T) {
+	g := &Graph{}
+	for _, alg := range Prunings() {
+		if kept := g.Prune(alg, PruneOptions{}); len(kept) != 0 {
+			t.Errorf("%v on empty graph kept %d", alg, len(kept))
+		}
+	}
+}
+
+// Properties over generated workloads: pruning output is a subset of
+// the graph's edges, contains no duplicates, is sorted by weight, and
+// WEP/WNP never drop the globally heaviest edge.
+func TestPruningInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		w, err := datagen.Generate(datagen.TwoKBs(seed, 50, datagen.Center(), datagen.Periphery()))
+		if err != nil {
+			return false
+		}
+		col := blocking.TokenBlocking(w.Collection, tokenize.Default())
+		assignments := col.Assignments()
+		for _, s := range Schemes() {
+			g := Build(col, s)
+			if g.NumEdges() == 0 {
+				continue
+			}
+			// Non-negative weights.
+			maxW, maxIdx := -1.0, -1
+			for i, e := range g.Edges {
+				if e.Weight < 0 {
+					return false
+				}
+				if e.Weight > maxW {
+					maxW, maxIdx = e.Weight, i
+				}
+			}
+			all := make(map[[2]int]bool, g.NumEdges())
+			for _, e := range g.Edges {
+				all[[2]int{e.A, e.B}] = true
+			}
+			for _, alg := range Prunings() {
+				kept := g.Prune(alg, PruneOptions{Assignments: assignments})
+				seen := map[[2]int]bool{}
+				for i, e := range kept {
+					k := [2]int{e.A, e.B}
+					if !all[k] || seen[k] {
+						return false
+					}
+					seen[k] = true
+					if i > 0 && kept[i-1].Weight < e.Weight {
+						return false
+					}
+				}
+				if alg == WEP || alg == WNP {
+					if !seen[[2]int{g.Edges[maxIdx].A, g.Edges[maxIdx].B}] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Meta-blocking's purpose: retained comparisons shrink substantially
+// while most ground-truth pairs that blocking found survive pruning.
+func TestPruningKeepsMatches(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(77, 400, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := blocking.TokenBlocking(w.Collection, tokenize.Default()).Purge(0).Filter(0.8)
+	g := Build(col, ECBS)
+	kept := g.Prune(WNP, PruneOptions{})
+	if len(kept) >= g.NumEdges() {
+		t.Fatalf("WNP pruned nothing: %d of %d", len(kept), g.NumEdges())
+	}
+	matchesBefore, matchesAfter := 0, 0
+	for _, e := range g.Edges {
+		if w.Truth.Match(e.A, e.B) {
+			matchesBefore++
+		}
+	}
+	for _, e := range kept {
+		if w.Truth.Match(e.A, e.B) {
+			matchesAfter++
+		}
+	}
+	if matchesBefore == 0 {
+		t.Fatal("blocking found no matches — workload broken")
+	}
+	ratio := float64(matchesAfter) / float64(matchesBefore)
+	if ratio < 0.9 {
+		t.Errorf("WNP kept only %.2f of matches (%d/%d)", ratio, matchesAfter, matchesBefore)
+	}
+}

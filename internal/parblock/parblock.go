@@ -1,0 +1,350 @@
+// Package parblock realizes blocking and meta-blocking as MapReduce
+// jobs on the in-process engine, following the parallel meta-blocking
+// dataflow of the paper's companion work [4] (Efthymiou et al., IEEE
+// Big Data 2015): token blocking as one map/reduce pass, edge
+// weighting with the entity-based strategy (each reducer sees one
+// entity's co-occurrence bag), and node-centric pruning (WNP/CNP) as a
+// further node-keyed pass. Results are identical to the sequential
+// implementations in internal/blocking and internal/metablocking,
+// which the tests assert.
+package parblock
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/blocking"
+	"repro/internal/kb"
+	"repro/internal/mapreduce"
+	"repro/internal/metablocking"
+	"repro/internal/tokenize"
+)
+
+// TokenBlocking runs schema-agnostic token blocking as a MapReduce
+// job: map emits (token, id) for every token of every description,
+// reduce materializes one block per token, and the driver discards
+// blocks that induce no comparisons.
+func TokenBlocking(src *kb.Collection, opts tokenize.Options, cfg mapreduce.Config) (*blocking.Collection, error) {
+	inputs := make([]string, src.Len())
+	for id := range inputs {
+		inputs[id] = strconv.Itoa(id)
+	}
+	job := mapreduce.Job{
+		Name: "token-blocking",
+		Map: func(input string, emit func(mapreduce.KV)) error {
+			id, err := strconv.Atoi(input)
+			if err != nil {
+				return fmt.Errorf("bad input record %q: %w", input, err)
+			}
+			for _, tok := range src.Desc(id).Tokens(opts) {
+				emit(mapreduce.KV{Key: tok, Value: input})
+			}
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
+			if len(values) < 2 {
+				return nil
+			}
+			emit(mapreduce.KV{Key: key, Value: strings.Join(values, ",")})
+			return nil
+		},
+	}
+	res, err := mapreduce.Run(job, inputs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	col := &blocking.Collection{Source: src, CleanClean: src.NumKBs() > 1}
+	for _, kv := range res.Output {
+		ids, err := parseIDs(kv.Value)
+		if err != nil {
+			return nil, fmt.Errorf("parblock: block %q: %w", kv.Key, err)
+		}
+		b := blocking.Block{Key: kv.Key, Entities: ids}
+		if b.Comparisons(src, col.CleanClean) == 0 {
+			continue
+		}
+		col.Blocks = append(col.Blocks, b)
+	}
+	return col, nil
+}
+
+// parseIDs decodes a comma-joined id list; the shuffle sorts values as
+// strings ("10" < "2"), so the result is re-sorted numerically.
+func parseIDs(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	ids := make([]int, len(parts))
+	for i, p := range parts {
+		id, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// pad left-pads a numeric id to fixed width so string order equals
+// numeric order in shuffle keys.
+func pad(id int) string {
+	return fmt.Sprintf("%012d", id)
+}
+
+func unpad(s string) (int, error) {
+	t := strings.TrimLeft(s, "0")
+	if t == "" {
+		return 0, nil
+	}
+	return strconv.Atoi(t)
+}
+
+// Graph computes the blocking graph of a block collection with a
+// MapReduce job per the entity-based strategy: map sends every
+// comparison of every block to its smaller endpoint; that entity's
+// reducer aggregates common-block counts (CBS) and reciprocal block
+// cardinalities (ARCS) per co-occurring entity and emits one record
+// per distinct edge. The driver assembles the graph and applies the
+// scheme's weight formula through the shared sequential code path.
+func Graph(col *blocking.Collection, scheme metablocking.Scheme, cfg mapreduce.Config) (*metablocking.Graph, error) {
+	src := col.Source
+	inputs := make([]string, len(col.Blocks))
+	for i := range inputs {
+		inputs[i] = strconv.Itoa(i)
+	}
+	job := mapreduce.Job{
+		Name: "edge-weighting",
+		Map: func(input string, emit func(mapreduce.KV)) error {
+			bi, err := strconv.Atoi(input)
+			if err != nil {
+				return fmt.Errorf("bad block record %q: %w", input, err)
+			}
+			b := &col.Blocks[bi]
+			cmp := b.Comparisons(src, col.CleanClean)
+			if cmp == 0 {
+				return nil
+			}
+			inv := strconv.FormatFloat(1/float64(cmp), 'g', 17, 64)
+			for x := 0; x < len(b.Entities); x++ {
+				for y := x + 1; y < len(b.Entities); y++ {
+					a, bb := b.Entities[x], b.Entities[y]
+					if col.CleanClean && !src.CrossKB(a, bb) {
+						continue
+					}
+					if a > bb {
+						a, bb = bb, a
+					}
+					// Entity-based strategy: the smaller endpoint's
+					// reducer owns the edge.
+					emit(mapreduce.KV{Key: pad(a), Value: pad(bb) + ":" + inv})
+				}
+			}
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
+			type acc struct {
+				cbs  int
+				arcs float64
+			}
+			bag := make(map[string]*acc)
+			for _, v := range values {
+				i := strings.IndexByte(v, ':')
+				if i < 0 {
+					return fmt.Errorf("bad co-occurrence record %q", v)
+				}
+				inv, err := strconv.ParseFloat(v[i+1:], 64)
+				if err != nil {
+					return fmt.Errorf("bad weight in %q: %w", v, err)
+				}
+				a := bag[v[:i]]
+				if a == nil {
+					a = &acc{}
+					bag[v[:i]] = a
+				}
+				a.cbs++
+				a.arcs += inv
+			}
+			for mate, a := range bag {
+				emit(mapreduce.KV{
+					Key:   key + "|" + mate,
+					Value: strconv.Itoa(a.cbs) + ":" + strconv.FormatFloat(a.arcs, 'g', 17, 64),
+				})
+			}
+			return nil
+		},
+	}
+	res, err := mapreduce.Run(job, inputs, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	g := metablocking.NewGraphShell(col)
+	for _, kv := range res.Output {
+		a, b, err := splitEdgeKey(kv.Key)
+		if err != nil {
+			return nil, err
+		}
+		i := strings.IndexByte(kv.Value, ':')
+		if i < 0 {
+			return nil, fmt.Errorf("parblock: bad edge value %q", kv.Value)
+		}
+		cbs, err := strconv.Atoi(kv.Value[:i])
+		if err != nil {
+			return nil, fmt.Errorf("parblock: bad CBS in %q: %w", kv.Value, err)
+		}
+		arcs, err := strconv.ParseFloat(kv.Value[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parblock: bad ARCS in %q: %w", kv.Value, err)
+		}
+		g.AddEdgeStat(a, b, cbs, arcs)
+	}
+	g.Finish(scheme)
+	return g, nil
+}
+
+func splitEdgeKey(key string) (int, int, error) {
+	sep := strings.IndexByte(key, '|')
+	if sep < 0 {
+		return 0, 0, fmt.Errorf("parblock: bad edge key %q", key)
+	}
+	a, err := unpad(key[:sep])
+	if err != nil {
+		return 0, 0, fmt.Errorf("parblock: bad edge key %q: %w", key, err)
+	}
+	b, err := unpad(key[sep+1:])
+	if err != nil {
+		return 0, 0, fmt.Errorf("parblock: bad edge key %q: %w", key, err)
+	}
+	return a, b, nil
+}
+
+// PruneNodeCentric runs WNP or CNP as a node-keyed MapReduce job: map
+// routes every edge to both endpoints, each node's reducer applies its
+// local criterion (mean weight for WNP, top-k for CNP) and re-emits
+// retained edges; the driver keeps edges retained by either endpoint
+// (or both, when opts.Reciprocal). Results match the sequential
+// Graph.Prune.
+func PruneNodeCentric(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions, cfg mapreduce.Config) ([]metablocking.Edge, error) {
+	if alg != metablocking.WNP && alg != metablocking.CNP {
+		return nil, fmt.Errorf("parblock: %v is not node-centric; use the sequential Prune", alg)
+	}
+	inputs := make([]string, len(g.Edges))
+	for i, e := range g.Edges {
+		inputs[i] = fmt.Sprintf("%d|%d|%s", e.A, e.B, strconv.FormatFloat(e.Weight, 'g', 17, 64))
+	}
+	kPerNode := opts.KPerNode
+	if alg == metablocking.CNP && kPerNode <= 0 {
+		if g.NumNodes > 0 {
+			kPerNode = (opts.Assignments + g.NumNodes - 1) / g.NumNodes
+		}
+		if kPerNode <= 0 {
+			kPerNode = 1
+		}
+	}
+	type edge struct {
+		a, b int
+		w    float64
+	}
+	job := mapreduce.Job{
+		Name: "node-pruning",
+		Map: func(input string, emit func(mapreduce.KV)) error {
+			parts := strings.SplitN(input, "|", 3)
+			if len(parts) != 3 {
+				return fmt.Errorf("bad edge record %q", input)
+			}
+			a, err1 := strconv.Atoi(parts[0])
+			b, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("bad edge record %q", input)
+			}
+			v := input
+			emit(mapreduce.KV{Key: pad(a), Value: v})
+			emit(mapreduce.KV{Key: pad(b), Value: v})
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
+			edges := make([]edge, 0, len(values))
+			sum := 0.0
+			for _, v := range values {
+				parts := strings.SplitN(v, "|", 3)
+				if len(parts) != 3 {
+					return fmt.Errorf("bad incident edge %q", v)
+				}
+				a, err1 := strconv.Atoi(parts[0])
+				b, err2 := strconv.Atoi(parts[1])
+				w, err3 := strconv.ParseFloat(parts[2], 64)
+				if err1 != nil || err2 != nil || err3 != nil {
+					return fmt.Errorf("bad incident edge %q", v)
+				}
+				edges = append(edges, edge{a, b, w})
+				sum += w
+			}
+			var retained []edge
+			switch alg {
+			case metablocking.WNP:
+				mean := sum / float64(len(edges))
+				for _, e := range edges {
+					if e.w >= mean {
+						retained = append(retained, e)
+					}
+				}
+			case metablocking.CNP:
+				// Descending weight, ties by ascending (a,b) — the
+				// sequential tie-break.
+				sort.Slice(edges, func(x, y int) bool {
+					if edges[x].w != edges[y].w {
+						return edges[x].w > edges[y].w
+					}
+					if edges[x].a != edges[y].a {
+						return edges[x].a < edges[y].a
+					}
+					return edges[x].b < edges[y].b
+				})
+				k := kPerNode
+				if k > len(edges) {
+					k = len(edges)
+				}
+				retained = edges[:k]
+			}
+			for _, e := range retained {
+				emit(mapreduce.KV{
+					Key:   pad(e.a) + "|" + pad(e.b),
+					Value: strconv.FormatFloat(e.w, 'g', 17, 64),
+				})
+			}
+			return nil
+		},
+	}
+	res, err := mapreduce.Run(job, inputs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	need := 1
+	if opts.Reciprocal {
+		need = 2
+	}
+	count := make(map[string]int)
+	weightOf := make(map[string]float64)
+	for _, kv := range res.Output {
+		count[kv.Key]++
+		w, err := strconv.ParseFloat(kv.Value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parblock: bad pruned weight %q: %w", kv.Value, err)
+		}
+		weightOf[kv.Key] = w
+	}
+	var kept []metablocking.Edge
+	for key, n := range count {
+		if n < need {
+			continue
+		}
+		a, b, err := splitEdgeKey(key)
+		if err != nil {
+			return nil, err
+		}
+		kept = append(kept, metablocking.Edge{A: a, B: b, Weight: weightOf[key]})
+	}
+	metablocking.SortEdges(kept)
+	return kept, nil
+}

@@ -1,0 +1,153 @@
+package parblock
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/datagen"
+	"repro/internal/mapreduce"
+	"repro/internal/metablocking"
+	"repro/internal/tokenize"
+)
+
+func workload(t *testing.T, seed int64, n int) *datagen.World {
+	t.Helper()
+	w, err := datagen.Generate(datagen.TwoKBs(seed, n, datagen.Center(), datagen.Periphery()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestParallelTokenBlockingMatchesSequential(t *testing.T) {
+	w := workload(t, 31, 120)
+	opts := tokenize.Default()
+	seq := blocking.TokenBlocking(w.Collection, opts)
+	for _, workers := range []int{1, 3, 8} {
+		par, err := TokenBlocking(w.Collection, opts, mapreduce.Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.NumBlocks() != seq.NumBlocks() {
+			t.Fatalf("workers=%d: blocks %d != %d", workers, par.NumBlocks(), seq.NumBlocks())
+		}
+		for i := range seq.Blocks {
+			if par.Blocks[i].Key != seq.Blocks[i].Key ||
+				!reflect.DeepEqual(par.Blocks[i].Entities, seq.Blocks[i].Entities) {
+				t.Fatalf("workers=%d: block %d differs: %v vs %v",
+					workers, i, par.Blocks[i], seq.Blocks[i])
+			}
+		}
+	}
+}
+
+func edgeKey(e metablocking.Edge) [2]int { return [2]int{e.A, e.B} }
+
+func TestParallelGraphMatchesSequential(t *testing.T) {
+	w := workload(t, 32, 100)
+	col := blocking.TokenBlocking(w.Collection, tokenize.Default())
+	for _, scheme := range metablocking.Schemes() {
+		seq := metablocking.Build(col, scheme)
+		par, err := Graph(col, scheme, mapreduce.Config{Workers: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if par.NumEdges() != seq.NumEdges() {
+			t.Fatalf("%v: edges %d != %d", scheme, par.NumEdges(), seq.NumEdges())
+		}
+		for i := range seq.Edges {
+			se, pe := seq.Edges[i], par.Edges[i]
+			if edgeKey(se) != edgeKey(pe) {
+				t.Fatalf("%v: edge %d is %v vs %v", scheme, i, pe, se)
+			}
+			if math.Abs(se.Weight-pe.Weight) > 1e-9*(1+math.Abs(se.Weight)) {
+				t.Fatalf("%v: edge %d weight %v vs %v", scheme, i, pe.Weight, se.Weight)
+			}
+		}
+	}
+}
+
+func TestParallelPruneMatchesSequential(t *testing.T) {
+	w := workload(t, 33, 90)
+	col := blocking.TokenBlocking(w.Collection, tokenize.Default())
+	g := metablocking.Build(col, metablocking.ECBS)
+	opts := metablocking.PruneOptions{Assignments: col.Assignments()}
+	for _, alg := range []metablocking.Pruning{metablocking.WNP, metablocking.CNP} {
+		for _, reciprocal := range []bool{false, true} {
+			o := opts
+			o.Reciprocal = reciprocal
+			seq := g.Prune(alg, o)
+			par, err := PruneNodeCentric(g, alg, o, mapreduce.Config{Workers: 4})
+			if err != nil {
+				t.Fatalf("%v reciprocal=%v: %v", alg, reciprocal, err)
+			}
+			seqSet := make(map[[2]int]bool, len(seq))
+			for _, e := range seq {
+				seqSet[edgeKey(e)] = true
+			}
+			parSet := make(map[[2]int]bool, len(par))
+			for _, e := range par {
+				parSet[edgeKey(e)] = true
+			}
+			if !reflect.DeepEqual(seqSet, parSet) {
+				t.Errorf("%v reciprocal=%v: retained sets differ (%d vs %d)",
+					alg, reciprocal, len(seqSet), len(parSet))
+			}
+		}
+	}
+}
+
+func TestPruneNodeCentricRejectsGlobalAlgs(t *testing.T) {
+	g := &metablocking.Graph{}
+	if _, err := PruneNodeCentric(g, metablocking.WEP, metablocking.PruneOptions{}, mapreduce.Config{}); err == nil {
+		t.Error("WEP accepted by node-centric pruner")
+	}
+	if _, err := PruneNodeCentric(g, metablocking.CEP, metablocking.PruneOptions{}, mapreduce.Config{}); err == nil {
+		t.Error("CEP accepted by node-centric pruner")
+	}
+}
+
+func TestWorkerCountsAgree(t *testing.T) {
+	w := workload(t, 34, 80)
+	col := blocking.TokenBlocking(w.Collection, tokenize.Default())
+	var base []metablocking.Edge
+	for _, workers := range []int{1, 2, 4} {
+		g, err := Graph(col, metablocking.JS, mapreduce.Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept, err := PruneNodeCentric(g, metablocking.WNP, metablocking.PruneOptions{}, mapreduce.Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = kept
+			continue
+		}
+		if len(kept) != len(base) {
+			t.Fatalf("workers=%d kept %d, want %d", workers, len(kept), len(base))
+		}
+		for i := range kept {
+			if edgeKey(kept[i]) != edgeKey(base[i]) {
+				t.Fatalf("workers=%d edge %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestUnpad(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want int
+	}{{"000000000000", 0}, {"000000000042", 42}, {"7", 7}} {
+		got, err := unpad(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("unpad(%q)=%d,%v want %d", c.in, got, err, c.want)
+		}
+	}
+	if _, err := unpad("00x"); err == nil {
+		t.Error("unpad accepted garbage")
+	}
+}

@@ -1,0 +1,140 @@
+package rdf
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Quad is a triple with the graph label of its source — the shape of
+// Web-crawl corpora such as the Billion Triple Challenge datasets,
+// where the fourth term records which dataset published the statement.
+type Quad struct {
+	Triple
+	// Graph is the graph label IRI, or the zero Term for statements in
+	// the default graph.
+	Graph Term
+}
+
+// QuadDecoder reads N-Quads: one statement per line, with an optional
+// graph term before the final '.'. Lines without a graph term parse as
+// default-graph statements, so any N-Triples document is also a valid
+// N-Quads document.
+type QuadDecoder struct {
+	r    *bufio.Reader
+	line int
+	// Strict mirrors Decoder.Strict.
+	Strict bool
+}
+
+// NewQuadDecoder returns a QuadDecoder reading from r.
+func NewQuadDecoder(r io.Reader) *QuadDecoder {
+	return &QuadDecoder{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Decode returns the next quad, or io.EOF at end of stream.
+func (d *QuadDecoder) Decode() (Quad, error) {
+	for {
+		d.line++
+		raw, err := d.r.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return Quad{}, fmt.Errorf("rdf: read: %w", err)
+		}
+		atEOF := err == io.EOF
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			if atEOF {
+				return Quad{}, io.EOF
+			}
+			continue
+		}
+		q, perr := d.parseLine(line)
+		if perr != nil {
+			return Quad{}, perr
+		}
+		return q, nil
+	}
+}
+
+// DecodeAll reads the remaining stream.
+func (d *QuadDecoder) DecodeAll() ([]Quad, error) {
+	var out []Quad
+	for {
+		q, err := d.Decode()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, q)
+	}
+}
+
+func (d *QuadDecoder) errf(format string, args ...any) *ParseError {
+	return &ParseError{Line: d.line, Msg: "nquads: " + fmt.Sprintf(format, args...)}
+}
+
+func (d *QuadDecoder) parseLine(line string) (Quad, error) {
+	p := &lineParser{s: line}
+	subj, err := p.term()
+	if err != nil {
+		return Quad{}, d.errf("subject: %v", err)
+	}
+	if !subj.IsResource() {
+		return Quad{}, d.errf("subject must be IRI or blank node")
+	}
+	p.skipWS()
+	pred, err := p.term()
+	if err != nil {
+		return Quad{}, d.errf("predicate: %v", err)
+	}
+	if !pred.IsIRI() {
+		return Quad{}, d.errf("predicate must be IRI")
+	}
+	p.skipWS()
+	obj, err := p.term()
+	if err != nil {
+		return Quad{}, d.errf("object: %v", err)
+	}
+	p.skipWS()
+	q := Quad{Triple: Triple{Subject: subj, Predicate: pred, Object: obj}}
+	if !p.done() && p.peek() != '.' {
+		graph, err := p.term()
+		if err != nil {
+			return Quad{}, d.errf("graph label: %v", err)
+		}
+		if !graph.IsResource() {
+			return Quad{}, d.errf("graph label must be IRI or blank node")
+		}
+		q.Graph = graph
+		p.skipWS()
+	}
+	if !p.consume('.') {
+		return Quad{}, d.errf("expected terminating '.', got %q", p.rest())
+	}
+	p.skipWS()
+	if !p.done() {
+		return Quad{}, d.errf("trailing content after '.': %q", p.rest())
+	}
+	if d.Strict && subj.IsIRI() && !strings.Contains(subj.Value, ":") {
+		return Quad{}, d.errf("relative IRI %q", subj.Value)
+	}
+	return q, nil
+}
+
+// String renders the quad in N-Quads syntax.
+func (q Quad) String() string {
+	if q.Graph == (Term{}) {
+		return q.Triple.String()
+	}
+	return q.Subject.String() + " " + q.Predicate.String() + " " +
+		q.Object.String() + " " + q.Graph.String() + " ."
+}
+
+// ParseQuadsString parses a complete N-Quads document from a string.
+func ParseQuadsString(doc string) ([]Quad, error) {
+	return NewQuadDecoder(strings.NewReader(doc)).DecodeAll()
+}

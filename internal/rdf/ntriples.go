@@ -1,0 +1,416 @@
+package rdf
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// ParseError describes a syntax error at a specific line of an N-Triples
+// stream.
+type ParseError struct {
+	Line int    // 1-based line number
+	Msg  string // human-readable description
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rdf: line %d: %s", e.Line, e.Msg)
+}
+
+// Decoder reads triples from an N-Triples stream, one statement per line.
+// Comment lines (starting with '#') and blank lines are skipped.
+type Decoder struct {
+	r    *bufio.Reader
+	line int
+	// Strict causes Decode to reject relative IRIs and malformed language
+	// tags. When false (the default) the decoder is lenient, matching the
+	// messy reality of published LOD dumps.
+	Strict bool
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Decode returns the next triple, or io.EOF when the stream ends.
+func (d *Decoder) Decode() (Triple, error) {
+	for {
+		d.line++
+		raw, err := d.r.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return Triple{}, fmt.Errorf("rdf: read: %w", err)
+		}
+		atEOF := err == io.EOF
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			if atEOF {
+				return Triple{}, io.EOF
+			}
+			continue
+		}
+		t, perr := d.parseLine(line)
+		if perr != nil {
+			return Triple{}, perr
+		}
+		return t, nil
+	}
+}
+
+// DecodeAll reads the remaining stream and returns all triples.
+func (d *Decoder) DecodeAll() ([]Triple, error) {
+	var out []Triple
+	for {
+		t, err := d.Decode()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+func (d *Decoder) errf(format string, args ...any) *ParseError {
+	return &ParseError{Line: d.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parseLine parses one N-Triples statement (without trailing newline).
+func (d *Decoder) parseLine(line string) (Triple, error) {
+	p := &lineParser{s: line}
+	subj, err := p.term()
+	if err != nil {
+		return Triple{}, d.errf("subject: %v", err)
+	}
+	if !subj.IsResource() {
+		return Triple{}, d.errf("subject must be IRI or blank node")
+	}
+	p.skipWS()
+	pred, err := p.term()
+	if err != nil {
+		return Triple{}, d.errf("predicate: %v", err)
+	}
+	if !pred.IsIRI() {
+		return Triple{}, d.errf("predicate must be IRI")
+	}
+	p.skipWS()
+	obj, err := p.term()
+	if err != nil {
+		return Triple{}, d.errf("object: %v", err)
+	}
+	p.skipWS()
+	if !p.consume('.') {
+		return Triple{}, d.errf("expected terminating '.', got %q", p.rest())
+	}
+	p.skipWS()
+	if !p.done() {
+		return Triple{}, d.errf("trailing content after '.': %q", p.rest())
+	}
+	if d.Strict {
+		if subj.IsIRI() && !strings.Contains(subj.Value, ":") {
+			return Triple{}, d.errf("relative IRI %q", subj.Value)
+		}
+		if obj.IsLiteral() && obj.Lang != "" && !validLangTag(obj.Lang) {
+			return Triple{}, d.errf("malformed language tag %q", obj.Lang)
+		}
+	}
+	return Triple{Subject: subj, Predicate: pred, Object: obj}, nil
+}
+
+// lineParser is a cursor over one statement.
+type lineParser struct {
+	s string
+	i int
+}
+
+func (p *lineParser) done() bool   { return p.i >= len(p.s) }
+func (p *lineParser) rest() string { return p.s[p.i:] }
+func (p *lineParser) peek() byte   { return p.s[p.i] }
+func (p *lineParser) advance()     { p.i++ }
+func (p *lineParser) skipWS()      { p.skip(" \t") }
+func (p *lineParser) skip(cs string) {
+	for p.i < len(p.s) && strings.IndexByte(cs, p.s[p.i]) >= 0 {
+		p.i++
+	}
+}
+
+func (p *lineParser) consume(c byte) bool {
+	if p.i < len(p.s) && p.s[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *lineParser) term() (Term, error) {
+	if p.done() {
+		return Term{}, errors.New("unexpected end of statement")
+	}
+	switch p.peek() {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	default:
+		return Term{}, fmt.Errorf("unexpected character %q", p.peek())
+	}
+}
+
+func (p *lineParser) iri() (Term, error) {
+	p.advance() // '<'
+	start := p.i
+	for p.i < len(p.s) && p.s[p.i] != '>' {
+		p.i++
+	}
+	if p.done() {
+		return Term{}, errors.New("unterminated IRI")
+	}
+	v, err := unescape(p.s[start:p.i])
+	if err != nil {
+		return Term{}, fmt.Errorf("IRI: %w", err)
+	}
+	p.advance() // '>'
+	return NewIRI(v), nil
+}
+
+func (p *lineParser) blank() (Term, error) {
+	if p.i+1 >= len(p.s) || p.s[p.i+1] != ':' {
+		return Term{}, errors.New("blank node must start with _:")
+	}
+	p.i += 2
+	start := p.i
+	for p.i < len(p.s) && !isWS(p.s[p.i]) && p.s[p.i] != '.' {
+		p.i++
+	}
+	if p.i == start {
+		return Term{}, errors.New("empty blank node label")
+	}
+	return NewBlank(p.s[start:p.i]), nil
+}
+
+func (p *lineParser) literal() (Term, error) {
+	p.advance() // opening '"'
+	var b strings.Builder
+	for {
+		if p.done() {
+			return Term{}, errors.New("unterminated literal")
+		}
+		c := p.peek()
+		if c == '"' {
+			p.advance()
+			break
+		}
+		if c == '\\' {
+			p.advance()
+			if p.done() {
+				return Term{}, errors.New("dangling escape in literal")
+			}
+			r, err := decodeEscape(p)
+			if err != nil {
+				return Term{}, err
+			}
+			b.WriteRune(r)
+			continue
+		}
+		b.WriteByte(c)
+		p.advance()
+	}
+	lex := b.String()
+	// Optional language tag or datatype.
+	if !p.done() && p.peek() == '@' {
+		p.advance()
+		start := p.i
+		for p.i < len(p.s) && !isWS(p.s[p.i]) {
+			p.i++
+		}
+		if p.i == start {
+			return Term{}, errors.New("empty language tag")
+		}
+		return NewLangLiteral(lex, p.s[start:p.i]), nil
+	}
+	if strings.HasPrefix(p.rest(), "^^") {
+		p.i += 2
+		if p.done() || p.peek() != '<' {
+			return Term{}, errors.New("datatype must be an IRI")
+		}
+		dt, err := p.iri()
+		if err != nil {
+			return Term{}, fmt.Errorf("datatype: %w", err)
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+// decodeEscape consumes the character(s) after a backslash.
+func decodeEscape(p *lineParser) (rune, error) {
+	c := p.peek()
+	p.advance()
+	switch c {
+	case 't':
+		return '\t', nil
+	case 'n':
+		return '\n', nil
+	case 'r':
+		return '\r', nil
+	case 'b':
+		return '\b', nil
+	case 'f':
+		return '\f', nil
+	case '"':
+		return '"', nil
+	case '\'':
+		return '\'', nil
+	case '\\':
+		return '\\', nil
+	case 'u':
+		return hexEscape(p, 4)
+	case 'U':
+		return hexEscape(p, 8)
+	default:
+		return 0, fmt.Errorf("invalid escape \\%c", c)
+	}
+}
+
+func hexEscape(p *lineParser, n int) (rune, error) {
+	if p.i+n > len(p.s) {
+		return 0, errors.New("truncated unicode escape")
+	}
+	var v rune
+	for k := 0; k < n; k++ {
+		c := p.s[p.i]
+		p.advance()
+		var d rune
+		switch {
+		case c >= '0' && c <= '9':
+			d = rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = rune(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("invalid hex digit %q in unicode escape", c)
+		}
+		v = v<<4 | d
+	}
+	if !utf8.ValidRune(v) {
+		return utf8.RuneError, nil
+	}
+	return v, nil
+}
+
+// unescape decodes \uXXXX and \UXXXXXXXX escapes inside IRIs.
+func unescape(s string) (string, error) {
+	if !strings.Contains(s, "\\") {
+		return s, nil
+	}
+	p := &lineParser{s: s}
+	var b strings.Builder
+	for !p.done() {
+		c := p.peek()
+		if c != '\\' {
+			b.WriteByte(c)
+			p.advance()
+			continue
+		}
+		p.advance()
+		if p.done() {
+			return "", errors.New("dangling escape")
+		}
+		r, err := decodeEscape(p)
+		if err != nil {
+			return "", err
+		}
+		b.WriteRune(r)
+	}
+	return b.String(), nil
+}
+
+func isWS(c byte) bool { return c == ' ' || c == '\t' }
+
+func validLangTag(tag string) bool {
+	parts := strings.Split(tag, "-")
+	for i, part := range parts {
+		if part == "" {
+			return false
+		}
+		for _, r := range part {
+			alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+			digit := r >= '0' && r <= '9'
+			if i == 0 && !alpha {
+				return false
+			}
+			if !alpha && !digit {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Encoder writes triples in N-Triples syntax, one per line.
+type Encoder struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Encode writes one triple. The first error encountered is sticky.
+func (e *Encoder) Encode(t Triple) error {
+	if e.err != nil {
+		return e.err
+	}
+	if err := t.Validate(); err != nil {
+		e.err = err
+		return err
+	}
+	if _, err := e.w.WriteString(t.String()); err != nil {
+		e.err = fmt.Errorf("rdf: write: %w", err)
+		return e.err
+	}
+	if err := e.w.WriteByte('\n'); err != nil {
+		e.err = fmt.Errorf("rdf: write: %w", err)
+	}
+	return e.err
+}
+
+// Flush writes any buffered output to the underlying writer.
+func (e *Encoder) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	if err := e.w.Flush(); err != nil {
+		e.err = fmt.Errorf("rdf: flush: %w", err)
+	}
+	return e.err
+}
+
+// ParseString parses a complete N-Triples document held in a string.
+func ParseString(doc string) ([]Triple, error) {
+	return NewDecoder(strings.NewReader(doc)).DecodeAll()
+}
+
+// WriteString serializes triples to an N-Triples document string.
+func WriteString(ts []Triple) (string, error) {
+	var sb strings.Builder
+	enc := NewEncoder(&sb)
+	for _, t := range ts {
+		if err := enc.Encode(t); err != nil {
+			return "", err
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

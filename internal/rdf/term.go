@@ -1,0 +1,187 @@
+// Package rdf implements a minimal RDF data model and an N-Triples
+// parser/serializer, sufficient for representing Web-of-Data knowledge
+// bases as used by Minoan ER.
+//
+// The model follows the RDF 1.1 abstract syntax: a graph is a set of
+// triples (subject, predicate, object) where subjects are IRIs or blank
+// nodes, predicates are IRIs, and objects are IRIs, blank nodes, or
+// literals (optionally tagged with a language or a datatype IRI).
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind int
+
+const (
+	// IRI is an absolute IRI reference such as <http://example.org/a>.
+	IRI TermKind = iota
+	// Blank is a blank node such as _:b0.
+	Blank
+	// Literal is a (possibly language-tagged or datatyped) literal.
+	Literal
+)
+
+// String returns the name of the kind.
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "IRI"
+	case Blank:
+		return "Blank"
+	case Literal:
+		return "Literal"
+	default:
+		return fmt.Sprintf("TermKind(%d)", int(k))
+	}
+}
+
+// Common vocabulary IRIs used throughout the system.
+const (
+	// RDFType is the rdf:type predicate.
+	RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	// OWLSameAs links descriptions of the same real-world entity.
+	OWLSameAs = "http://www.w3.org/2002/07/owl#sameAs"
+	// RDFSLabel is the conventional human-readable name predicate.
+	RDFSLabel = "http://www.w3.org/2000/01/rdf-schema#label"
+	// XSDString is the default literal datatype.
+	XSDString = "http://www.w3.org/2001/XMLSchema#string"
+)
+
+// Term is one RDF term. The zero value is the empty IRI.
+//
+// Value holds the IRI text, the blank node label (without "_:"), or the
+// literal lexical form, depending on Kind. Lang and Datatype are only
+// meaningful for literals and are mutually exclusive per RDF 1.1.
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Lang     string
+	Datatype string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewBlank returns a blank-node term with the given label (no "_:" prefix).
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// NewLiteral returns a plain literal term.
+func NewLiteral(lex string) Term { return Term{Kind: Literal, Value: lex} }
+
+// NewLangLiteral returns a language-tagged literal.
+func NewLangLiteral(lex, lang string) Term {
+	return Term{Kind: Literal, Value: lex, Lang: lang}
+}
+
+// NewTypedLiteral returns a datatyped literal.
+func NewTypedLiteral(lex, datatype string) Term {
+	return Term{Kind: Literal, Value: lex, Datatype: datatype}
+}
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == Blank }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// IsResource reports whether the term can appear as a triple subject.
+func (t Term) IsResource() bool { return t.Kind == IRI || t.Kind == Blank }
+
+// Equal reports whether two terms are identical under RDF term equality.
+func (t Term) Equal(o Term) bool { return t == o }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	case Literal:
+		s := `"` + escapeLiteral(t.Value) + `"`
+		switch {
+		case t.Lang != "":
+			return s + "@" + t.Lang
+		case t.Datatype != "" && t.Datatype != XSDString:
+			return s + "^^<" + t.Datatype + ">"
+		default:
+			return s
+		}
+	default:
+		return fmt.Sprintf("<!invalid term kind %d>", int(t.Kind))
+	}
+}
+
+// Triple is a single RDF statement.
+type Triple struct {
+	Subject   Term
+	Predicate Term
+	Object    Term
+}
+
+// NewTriple builds a triple from its three terms.
+func NewTriple(s, p, o Term) Triple { return Triple{Subject: s, Predicate: p, Object: o} }
+
+// String renders the triple as one N-Triples line (without newline).
+func (tr Triple) String() string {
+	return tr.Subject.String() + " " + tr.Predicate.String() + " " + tr.Object.String() + " ."
+}
+
+// Validate checks the RDF positional constraints: the subject must be a
+// resource and the predicate must be an IRI.
+func (tr Triple) Validate() error {
+	if !tr.Subject.IsResource() {
+		return fmt.Errorf("rdf: subject must be IRI or blank node, got %s", tr.Subject.Kind)
+	}
+	if !tr.Predicate.IsIRI() {
+		return fmt.Errorf("rdf: predicate must be IRI, got %s", tr.Predicate.Kind)
+	}
+	return nil
+}
+
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// LocalName returns the fragment or last path segment of an IRI, the part
+// after the final '#' or '/'. For non-IRI terms it returns Value verbatim.
+// Token blocking uses this to extract name evidence from URIs (the
+// "infix" of the prefix-infix-suffix scheme).
+func (t Term) LocalName() string {
+	if t.Kind != IRI {
+		return t.Value
+	}
+	v := strings.TrimRight(t.Value, "/#")
+	if i := strings.LastIndexAny(v, "/#"); i >= 0 {
+		return v[i+1:]
+	}
+	return v
+}

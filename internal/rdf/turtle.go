@@ -1,0 +1,737 @@
+package rdf
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// TurtleDecoder reads a practical subset of Turtle (RDF 1.1): @prefix
+// and @base directives (and their SPARQL-style PREFIX/BASE forms),
+// prefixed names, 'a' for rdf:type, predicate lists (';'), object
+// lists (','), blank nodes (labelled and anonymous '[]' property
+// lists), and the literal forms of N-Triples plus numeric and boolean
+// shorthand. Collections '(...)' are not supported (rare in LOD
+// entity dumps).
+//
+// Published LOD datasets are overwhelmingly Turtle or N-Triples; this
+// decoder lets the pipeline ingest both.
+type TurtleDecoder struct {
+	r        *bufio.Reader
+	prefixes map[string]string
+	base     string
+	line     int
+
+	// tokenizer state
+	tok     string
+	tokKind ttKind
+	peeked  bool
+
+	// pending triples emitted by blank-node property lists
+	pending []Triple
+	anonSeq int
+}
+
+type ttKind int
+
+const (
+	tkEOF       ttKind = iota
+	tkIRI              // <...>
+	tkPName            // prefix:local or prefix: or :local
+	tkLiteral          // "..." with optional @lang or ^^type (already decoded)
+	tkPunct            // . ; , [ ] ( )
+	tkA                // the keyword 'a'
+	tkNumber           // numeric shorthand
+	tkBool             // true/false
+	tkDirective        // @prefix / @base / PREFIX / BASE
+)
+
+// NewTurtleDecoder returns a decoder reading Turtle from r.
+func NewTurtleDecoder(r io.Reader) *TurtleDecoder {
+	return &TurtleDecoder{
+		r: bufio.NewReaderSize(r, 64<<10),
+		prefixes: map[string]string{
+			"rdf": "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+		},
+	}
+}
+
+// errf builds a positioned parse error.
+func (d *TurtleDecoder) errf(format string, args ...any) error {
+	return &ParseError{Line: d.line + 1, Msg: "turtle: " + fmt.Sprintf(format, args...)}
+}
+
+// DecodeAll parses the whole stream.
+func (d *TurtleDecoder) DecodeAll() ([]Triple, error) {
+	var out []Triple
+	for {
+		ts, err := d.Decode()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ts...)
+	}
+}
+
+// Decode parses the next statement, returning the triples it yields
+// (a statement with predicate/object lists yields several). io.EOF
+// signals the end of the stream.
+func (d *TurtleDecoder) Decode() ([]Triple, error) {
+	if len(d.pending) > 0 {
+		out := d.pending
+		d.pending = nil
+		return out, nil
+	}
+	kind, tok, err := d.peek()
+	if err != nil {
+		return nil, err
+	}
+	if kind == tkEOF {
+		return nil, io.EOF
+	}
+	if kind == tkDirective {
+		d.next()
+		if err := d.directive(tok); err != nil {
+			return nil, err
+		}
+		return d.Decode()
+	}
+	subj, err := d.subject()
+	if err != nil {
+		return nil, err
+	}
+	// "[ ... ] ." — a blank-node property list may stand alone as a
+	// statement, with no further predicate list.
+	var triples []Triple
+	if k, t, err := d.peek(); err == nil && subj.IsBlank() && k == tkPunct && t == "." {
+		d.next()
+		out := d.pending
+		d.pending = nil
+		return out, nil
+	}
+	triples, err = d.predicateObjectList(subj)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.expectPunct("."); err != nil {
+		return nil, err
+	}
+	triples = append(triples, d.pending...)
+	d.pending = nil
+	return triples, nil
+}
+
+func (d *TurtleDecoder) directive(tok string) error {
+	lower := strings.ToLower(strings.TrimPrefix(tok, "@"))
+	switch lower {
+	case "prefix":
+		kind, name, err := d.next()
+		if err != nil {
+			return err
+		}
+		if kind != tkPName || !strings.HasSuffix(name, ":") {
+			return d.errf("@prefix wants 'name:', got %q", name)
+		}
+		kind, iri, err := d.next()
+		if err != nil {
+			return err
+		}
+		if kind != tkIRI {
+			return d.errf("@prefix wants an IRI, got %q", iri)
+		}
+		d.prefixes[strings.TrimSuffix(name, ":")] = d.resolve(iri)
+	case "base":
+		kind, iri, err := d.next()
+		if err != nil {
+			return err
+		}
+		if kind != tkIRI {
+			return d.errf("@base wants an IRI, got %q", iri)
+		}
+		d.base = d.resolve(iri)
+	default:
+		return d.errf("unknown directive %q", tok)
+	}
+	// '@prefix'/'@base' end with '.', SPARQL-style PREFIX/BASE do not.
+	if strings.HasPrefix(tok, "@") {
+		return d.expectPunct(".")
+	}
+	return nil
+}
+
+func (d *TurtleDecoder) subject() (Term, error) {
+	kind, tok, err := d.next()
+	if err != nil {
+		return Term{}, err
+	}
+	switch kind {
+	case tkIRI:
+		return NewIRI(d.resolve(tok)), nil
+	case tkPName:
+		if strings.HasPrefix(tok, "_:") {
+			return NewBlank(tok[2:]), nil
+		}
+		iri, err := d.expand(tok)
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(iri), nil
+	case tkPunct:
+		if tok == "[" {
+			return d.anonSubject()
+		}
+	}
+	return Term{}, d.errf("bad subject token %q", tok)
+}
+
+// anonSubject handles "[ p o ; ... ] ." — an anonymous blank node with
+// its own property list.
+func (d *TurtleDecoder) anonSubject() (Term, error) {
+	bn := d.freshBlank()
+	if k, t, err := d.peek(); err == nil && k == tkPunct && t == "]" {
+		d.next()
+		return bn, nil
+	}
+	ts, err := d.predicateObjectList(bn)
+	if err != nil {
+		return Term{}, err
+	}
+	if err := d.expectPunct("]"); err != nil {
+		return Term{}, err
+	}
+	d.pending = append(d.pending, ts...)
+	return bn, nil
+}
+
+func (d *TurtleDecoder) freshBlank() Term {
+	d.anonSeq++
+	return NewBlank(fmt.Sprintf("anon%d", d.anonSeq))
+}
+
+func (d *TurtleDecoder) predicateObjectList(subj Term) ([]Triple, error) {
+	var out []Triple
+	for {
+		pred, err := d.predicate()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			obj, extra, err := d.object()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Triple{Subject: subj, Predicate: pred, Object: obj})
+			out = append(out, extra...)
+			k, t, err := d.peek()
+			if err != nil {
+				return nil, err
+			}
+			if k == tkPunct && t == "," {
+				d.next()
+				continue
+			}
+			break
+		}
+		k, t, err := d.peek()
+		if err != nil {
+			return nil, err
+		}
+		if k == tkPunct && t == ";" {
+			d.next()
+			// A trailing ';' before '.' or ']' is legal Turtle.
+			if k2, t2, err := d.peek(); err == nil && k2 == tkPunct && (t2 == "." || t2 == "]") {
+				break
+			}
+			continue
+		}
+		break
+	}
+	return out, nil
+}
+
+func (d *TurtleDecoder) predicate() (Term, error) {
+	kind, tok, err := d.next()
+	if err != nil {
+		return Term{}, err
+	}
+	switch kind {
+	case tkA:
+		return NewIRI(RDFType), nil
+	case tkIRI:
+		return NewIRI(d.resolve(tok)), nil
+	case tkPName:
+		if strings.HasPrefix(tok, "_:") {
+			return Term{}, d.errf("blank node cannot be a predicate")
+		}
+		iri, err := d.expand(tok)
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(iri), nil
+	}
+	return Term{}, d.errf("bad predicate token %q", tok)
+}
+
+// object returns the object term plus any triples produced by a nested
+// anonymous blank node.
+func (d *TurtleDecoder) object() (Term, []Triple, error) {
+	kind, tok, err := d.next()
+	if err != nil {
+		return Term{}, nil, err
+	}
+	switch kind {
+	case tkIRI:
+		return NewIRI(d.resolve(tok)), nil, nil
+	case tkPName:
+		if strings.HasPrefix(tok, "_:") {
+			return NewBlank(tok[2:]), nil, nil
+		}
+		iri, err := d.expand(tok)
+		if err != nil {
+			return Term{}, nil, err
+		}
+		return NewIRI(iri), nil, nil
+	case tkLiteral:
+		return d.literalFromToken(tok)
+	case tkNumber:
+		dt := "http://www.w3.org/2001/XMLSchema#integer"
+		if strings.ContainsAny(tok, ".eE") {
+			dt = "http://www.w3.org/2001/XMLSchema#decimal"
+		}
+		return NewTypedLiteral(tok, dt), nil, nil
+	case tkBool:
+		return NewTypedLiteral(tok, "http://www.w3.org/2001/XMLSchema#boolean"), nil, nil
+	case tkPunct:
+		if tok == "[" {
+			bn := d.freshBlank()
+			if k, t, err := d.peek(); err == nil && k == tkPunct && t == "]" {
+				d.next()
+				return bn, nil, nil
+			}
+			ts, err := d.predicateObjectList(bn)
+			if err != nil {
+				return Term{}, nil, err
+			}
+			if err := d.expectPunct("]"); err != nil {
+				return Term{}, nil, err
+			}
+			return bn, ts, nil
+		}
+	}
+	return Term{}, nil, d.errf("bad object token %q", tok)
+}
+
+// literalFromToken decodes the raw literal token captured by the
+// lexer: lexical\x00lang or lexical\x01datatypeToken.
+func (d *TurtleDecoder) literalFromToken(tok string) (Term, []Triple, error) {
+	if i := strings.IndexByte(tok, 0); i >= 0 {
+		return NewLangLiteral(tok[:i], tok[i+1:]), nil, nil
+	}
+	if i := strings.IndexByte(tok, 1); i >= 0 {
+		dtTok := tok[i+1:]
+		var dt string
+		if strings.HasPrefix(dtTok, "<") {
+			dt = d.resolve(strings.Trim(dtTok, "<>"))
+		} else {
+			var err error
+			dt, err = d.expand(dtTok)
+			if err != nil {
+				return Term{}, nil, err
+			}
+		}
+		return NewTypedLiteral(tok[:i], dt), nil, nil
+	}
+	return NewLiteral(tok), nil, nil
+}
+
+func (d *TurtleDecoder) expand(pname string) (string, error) {
+	i := strings.IndexByte(pname, ':')
+	if i < 0 {
+		return "", d.errf("prefixed name %q lacks ':'", pname)
+	}
+	ns, ok := d.prefixes[pname[:i]]
+	if !ok {
+		return "", d.errf("undefined prefix %q", pname[:i])
+	}
+	return ns + pname[i+1:], nil
+}
+
+// resolve applies @base to relative IRIs (best-effort: absolute IRIs
+// pass through).
+func (d *TurtleDecoder) resolve(iri string) string {
+	if d.base == "" || strings.Contains(iri, "://") || strings.HasPrefix(iri, "urn:") {
+		return iri
+	}
+	if strings.HasPrefix(iri, "#") || !strings.Contains(iri, ":") {
+		return d.base + iri
+	}
+	return iri
+}
+
+func (d *TurtleDecoder) expectPunct(p string) error {
+	kind, tok, err := d.next()
+	if err != nil {
+		return err
+	}
+	if kind != tkPunct || tok != p {
+		return d.errf("expected %q, got %q", p, tok)
+	}
+	return nil
+}
+
+// --- lexer ---------------------------------------------------------
+
+func (d *TurtleDecoder) peek() (ttKind, string, error) {
+	if !d.peeked {
+		k, t, err := d.lex()
+		if err != nil {
+			return 0, "", err
+		}
+		d.tokKind, d.tok, d.peeked = k, t, true
+	}
+	return d.tokKind, d.tok, nil
+}
+
+func (d *TurtleDecoder) next() (ttKind, string, error) {
+	k, t, err := d.peek()
+	d.peeked = false
+	return k, t, err
+}
+
+func (d *TurtleDecoder) readByte() (byte, bool) {
+	b, err := d.r.ReadByte()
+	if err != nil {
+		return 0, false
+	}
+	if b == '\n' {
+		d.line++
+	}
+	return b, true
+}
+
+func (d *TurtleDecoder) unread(b byte) {
+	if b == '\n' {
+		d.line--
+	}
+	d.r.UnreadByte()
+}
+
+func (d *TurtleDecoder) lex() (ttKind, string, error) {
+	// Skip whitespace and comments.
+	for {
+		b, ok := d.readByte()
+		if !ok {
+			return tkEOF, "", nil
+		}
+		if b == '#' {
+			for {
+				c, ok := d.readByte()
+				if !ok {
+					return tkEOF, "", nil
+				}
+				if c == '\n' {
+					break
+				}
+			}
+			continue
+		}
+		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+			continue
+		}
+		switch b {
+		case '<':
+			return d.lexIRI()
+		case '"', '\'':
+			return d.lexLiteral(b)
+		case '.', ';', ',', '[', ']', '(', ')':
+			// '.' may start a decimal number (rare); treat as punct —
+			// Turtle numbers in LOD start with a digit or sign.
+			return tkPunct, string(b), nil
+		case '@':
+			word := d.lexWord()
+			if word == "prefix" || word == "base" {
+				return tkDirective, "@" + word, nil
+			}
+			return 0, "", d.errf("unexpected @%s", word)
+		}
+		if b == '+' || b == '-' || (b >= '0' && b <= '9') {
+			d.unread(b)
+			return d.lexNumber()
+		}
+		// Bare word: 'a', true/false, PREFIX/BASE, or a prefixed name.
+		d.unread(b)
+		return d.lexName()
+	}
+}
+
+func (d *TurtleDecoder) lexIRI() (ttKind, string, error) {
+	var sb strings.Builder
+	for {
+		b, ok := d.readByte()
+		if !ok {
+			return 0, "", d.errf("unterminated IRI")
+		}
+		if b == '>' {
+			v, err := unescape(sb.String())
+			if err != nil {
+				return 0, "", d.errf("IRI: %v", err)
+			}
+			return tkIRI, v, nil
+		}
+		sb.WriteByte(b)
+	}
+}
+
+// lexLiteral handles short and long forms with either quote character.
+func (d *TurtleDecoder) lexLiteral(q byte) (ttKind, string, error) {
+	long := false
+	b1, ok1 := d.readByte()
+	if ok1 && b1 == q {
+		b2, ok2 := d.readByte()
+		if ok2 && b2 == q {
+			long = true
+		} else {
+			if ok2 {
+				d.unread(b2)
+			}
+			// empty short literal
+			return d.lexLiteralSuffix("")
+		}
+	} else if ok1 {
+		d.unread(b1)
+	}
+
+	var sb strings.Builder
+	quoteRun := 0
+	for {
+		b, ok := d.readByte()
+		if !ok {
+			return 0, "", d.errf("unterminated literal")
+		}
+		if b == '\\' {
+			quoteRun = 0
+			esc, ok := d.readByte()
+			if !ok {
+				return 0, "", d.errf("dangling escape")
+			}
+			r, err := decodeStreamEscape(d, esc)
+			if err != nil {
+				return 0, "", err
+			}
+			sb.WriteRune(r)
+			continue
+		}
+		if b == q {
+			if !long {
+				return d.lexLiteralSuffix(sb.String())
+			}
+			quoteRun++
+			if quoteRun == 3 {
+				s := sb.String()
+				return d.lexLiteralSuffix(s[:len(s)-2])
+			}
+			sb.WriteByte(b)
+			continue
+		}
+		quoteRun = 0
+		if !long && (b == '\n' || b == '\r') {
+			return 0, "", d.errf("newline in short literal")
+		}
+		sb.WriteByte(b)
+	}
+}
+
+// lexLiteralSuffix captures an optional @lang or ^^datatype after a
+// literal, encoding them into the token (see literalFromToken).
+func (d *TurtleDecoder) lexLiteralSuffix(lex string) (ttKind, string, error) {
+	b, ok := d.readByte()
+	if !ok {
+		return tkLiteral, lex, nil
+	}
+	switch b {
+	case '@':
+		lang := d.lexWordExt("-")
+		if lang == "" {
+			return 0, "", d.errf("empty language tag")
+		}
+		return tkLiteral, lex + "\x00" + lang, nil
+	case '^':
+		b2, ok := d.readByte()
+		if !ok || b2 != '^' {
+			return 0, "", d.errf("expected ^^ before datatype")
+		}
+		b3, ok := d.readByte()
+		if !ok {
+			return 0, "", d.errf("missing datatype")
+		}
+		if b3 == '<' {
+			_, iri, err := d.lexIRI()
+			if err != nil {
+				return 0, "", err
+			}
+			return tkLiteral, lex + "\x01<" + iri + ">", nil
+		}
+		d.unread(b3)
+		name := d.lexWordExt(":._-")
+		if name == "" {
+			return 0, "", d.errf("missing datatype")
+		}
+		return tkLiteral, lex + "\x01" + name, nil
+	default:
+		d.unread(b)
+		return tkLiteral, lex, nil
+	}
+}
+
+func (d *TurtleDecoder) lexNumber() (ttKind, string, error) {
+	var sb strings.Builder
+	for {
+		b, ok := d.readByte()
+		if !ok {
+			break
+		}
+		if (b >= '0' && b <= '9') || b == '+' || b == '-' || b == '.' || b == 'e' || b == 'E' {
+			sb.WriteByte(b)
+			continue
+		}
+		d.unread(b)
+		break
+	}
+	s := sb.String()
+	// A trailing '.' is the statement terminator, not part of the number.
+	if strings.HasSuffix(s, ".") {
+		s = s[:len(s)-1]
+		d.r.UnreadByte() // put the '.' back (never a newline)
+	}
+	if s == "" || s == "+" || s == "-" {
+		return 0, "", d.errf("malformed number")
+	}
+	return tkNumber, s, nil
+}
+
+// lexWord reads [A-Za-z]+.
+func (d *TurtleDecoder) lexWord() string { return d.lexWordExt("") }
+
+func (d *TurtleDecoder) lexWordExt(extra string) string {
+	var sb strings.Builder
+	for {
+		b, ok := d.readByte()
+		if !ok {
+			break
+		}
+		r := rune(b)
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || strings.IndexByte(extra, b) >= 0 {
+			sb.WriteByte(b)
+			continue
+		}
+		d.unread(b)
+		break
+	}
+	return sb.String()
+}
+
+// lexName reads a bare name: 'a', booleans, SPARQL directives, blank
+// nodes (_:x) and prefixed names (p:local, :local, p:).
+func (d *TurtleDecoder) lexName() (ttKind, string, error) {
+	var sb strings.Builder
+	for {
+		b, ok := d.readByte()
+		if !ok {
+			break
+		}
+		if isNameByte(b) {
+			sb.WriteByte(b)
+			continue
+		}
+		d.unread(b)
+		break
+	}
+	s := sb.String()
+	switch {
+	case s == "":
+		b, _ := d.readByte()
+		return 0, "", d.errf("unexpected character %q", b)
+	case s == "a":
+		return tkA, s, nil
+	case s == "true" || s == "false":
+		return tkBool, s, nil
+	case strings.EqualFold(s, "prefix") && !strings.Contains(s, ":"):
+		return tkDirective, s, nil
+	case strings.EqualFold(s, "base") && !strings.Contains(s, ":"):
+		return tkDirective, s, nil
+	case strings.HasPrefix(s, "_:"):
+		return tkPName, s, nil
+	case strings.Contains(s, ":"):
+		return tkPName, s, nil
+	default:
+		return 0, "", d.errf("unexpected token %q", s)
+	}
+}
+
+// isNameByte reports bytes legal inside a bare name. '.' is excluded:
+// it terminates the statement (dotted local names need IRI syntax).
+func isNameByte(b byte) bool {
+	return b == ':' || b == '_' || b == '-' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9') ||
+		b >= 0x80 // UTF-8 continuation/lead bytes in local names
+}
+
+// decodeStreamEscape mirrors decodeEscape for the streaming lexer.
+func decodeStreamEscape(d *TurtleDecoder, c byte) (rune, error) {
+	switch c {
+	case 't':
+		return '\t', nil
+	case 'n':
+		return '\n', nil
+	case 'r':
+		return '\r', nil
+	case 'b':
+		return '\b', nil
+	case 'f':
+		return '\f', nil
+	case '"':
+		return '"', nil
+	case '\'':
+		return '\'', nil
+	case '\\':
+		return '\\', nil
+	case 'u', 'U':
+		n := 4
+		if c == 'U' {
+			n = 8
+		}
+		var v rune
+		for i := 0; i < n; i++ {
+			hb, ok := d.readByte()
+			if !ok {
+				return 0, d.errf("truncated unicode escape")
+			}
+			var digit rune
+			switch {
+			case hb >= '0' && hb <= '9':
+				digit = rune(hb - '0')
+			case hb >= 'a' && hb <= 'f':
+				digit = rune(hb-'a') + 10
+			case hb >= 'A' && hb <= 'F':
+				digit = rune(hb-'A') + 10
+			default:
+				return 0, d.errf("invalid hex digit %q", hb)
+			}
+			v = v<<4 | digit
+		}
+		return v, nil
+	default:
+		return 0, d.errf("invalid escape \\%c", c)
+	}
+}
+
+// ParseTurtleString parses a complete Turtle document from a string.
+func ParseTurtleString(doc string) ([]Triple, error) {
+	return NewTurtleDecoder(strings.NewReader(doc)).DecodeAll()
+}

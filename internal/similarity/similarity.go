@@ -1,0 +1,284 @@
+// Package similarity provides the string- and set-similarity measures
+// used by entity matching: token-set measures (Jaccard, Dice, overlap,
+// cosine with TF-IDF weighting) and edit-based measures (Levenshtein,
+// Jaro, Jaro-Winkler). All measures return values in [0, 1], where 1
+// means identical.
+package similarity
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Jaccard returns |a∩b| / |a∪b| over two token sets.
+// Two empty sets are defined to have similarity 0 (no evidence).
+func Jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := intersectionSize(a, b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Dice returns 2|a∩b| / (|a|+|b|).
+func Dice(a, b map[string]struct{}) float64 {
+	if len(a)+len(b) == 0 {
+		return 0
+	}
+	inter := intersectionSize(a, b)
+	return 2 * float64(inter) / float64(len(a)+len(b))
+}
+
+// Overlap returns |a∩b| / min(|a|,|b|), the overlap coefficient.
+func Overlap(a, b map[string]struct{}) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := intersectionSize(a, b)
+	return float64(inter) / float64(min(len(a), len(b)))
+}
+
+// CommonTokens returns |a∩b|.
+func CommonTokens(a, b map[string]struct{}) int { return intersectionSize(a, b) }
+
+func intersectionSize(a, b map[string]struct{}) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	n := 0
+	for t := range a {
+		if _, ok := b[t]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// JaccardSlices computes Jaccard over token slices (treated as sets).
+func JaccardSlices(a, b []string) float64 {
+	return Jaccard(toSet(a), toSet(b))
+}
+
+func toSet(xs []string) map[string]struct{} {
+	s := make(map[string]struct{}, len(xs))
+	for _, x := range xs {
+		s[x] = struct{}{}
+	}
+	return s
+}
+
+// TFIDF holds inverse-document-frequency weights learned from a corpus
+// of token multisets. Cosine similarity weighted by IDF discounts
+// tokens that appear everywhere (e.g. "city") and rewards rare,
+// discriminative ones.
+type TFIDF struct {
+	df   map[string]int
+	docs int
+}
+
+// NewTFIDF returns an empty model.
+func NewTFIDF() *TFIDF { return &TFIDF{df: make(map[string]int)} }
+
+// AddDoc folds one document's distinct tokens into the document
+// frequency table.
+func (m *TFIDF) AddDoc(tokens []string) {
+	m.docs++
+	seen := make(map[string]struct{}, len(tokens))
+	for _, t := range tokens {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		m.df[t]++
+	}
+}
+
+// Docs returns how many documents the model has seen.
+func (m *TFIDF) Docs() int { return m.docs }
+
+// IDF returns the smoothed inverse document frequency of a token:
+// ln(1 + N/df). Unknown tokens get the maximum weight ln(1+N).
+func (m *TFIDF) IDF(token string) float64 {
+	if m.docs == 0 {
+		return 0
+	}
+	df := m.df[token]
+	if df == 0 {
+		df = 1
+	}
+	return math.Log(1 + float64(m.docs)/float64(df))
+}
+
+// Cosine returns the IDF-weighted cosine similarity of two token sets.
+// Accumulation runs in sorted-token order, so the result is
+// bit-for-bit deterministic.
+func (m *TFIDF) Cosine(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	wa := m.weights(a)
+	wb := m.weights(b)
+	var dot, na, nb float64
+	lookup := make(map[string]float64, len(wb))
+	for _, w := range wb {
+		nb += w.weight * w.weight
+		lookup[w.token] = w.weight
+	}
+	for _, w := range wa {
+		na += w.weight * w.weight
+		if w2, ok := lookup[w.token]; ok {
+			dot += w.weight * w2
+		}
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+type tokenWeight struct {
+	token  string
+	weight float64
+}
+
+// weights returns TF-IDF weights in sorted token order.
+func (m *TFIDF) weights(tokens []string) []tokenWeight {
+	tf := make(map[string]float64, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	out := make([]tokenWeight, 0, len(tf))
+	for t, f := range tf {
+		out = append(out, tokenWeight{token: t, weight: (1 + math.Log(f)) * m.IDF(t)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].token < out[j].token })
+	return out
+}
+
+// Levenshtein returns the normalized edit similarity:
+// 1 − editDistance(a,b)/max(len(a),len(b)). Identical strings score 1;
+// the empty-vs-empty case scores 1 as well.
+func Levenshtein(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	d := editDistance(ra, rb)
+	return 1 - float64(d)/float64(max(la, lb))
+}
+
+func editDistance(a, b []rune) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	// Single-row dynamic program over the shorter string.
+	prev := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		diag := prev[0]
+		prev[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur := min(min(prev[j]+1, prev[j-1]+1), diag+cost)
+			diag = prev[j]
+			prev[j] = cur
+		}
+	}
+	return prev[len(b)]
+}
+
+// Jaro returns the Jaro similarity of two strings.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max(0, i-window)
+		hi := min(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i], matchB[j] = true, true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for strings sharing a common
+// prefix (up to 4 runes), with the standard scaling factor 0.1.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && prefix < 4 && a[prefix] == b[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// ExactNormalized reports 1 if the two strings are equal after trimming
+// and case folding, else 0. Used as a cheap first-stage matcher.
+func ExactNormalized(a, b string) float64 {
+	if strings.EqualFold(strings.TrimSpace(a), strings.TrimSpace(b)) {
+		return 1
+	}
+	return 0
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,157 @@
+package tokenize
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokensBasic(t *testing.T) {
+	opts := Default()
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"New York City", []string{"new", "york", "city"}},
+		{"the cat and the hat", []string{"cat", "hat"}},
+		{"", nil},
+		{"  ,;  ", nil},
+		{"Hello, World! Hello", []string{"hello", "world"}},
+		{"U.S.A.", nil}, // single letters dropped by MinLength
+		{"AC/DC rocks", []string{"ac", "dc", "rocks"}},
+	}
+	for _, c := range cases {
+		if got := Tokens(c.in, opts); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokens(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokensCamelCase(t *testing.T) {
+	opts := Default()
+	got := Tokens("NewYorkCity", opts)
+	want := []string{"new", "york", "city"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("camel split = %v, want %v", got, want)
+	}
+	// Acronym + word boundary.
+	got = Tokens("HTTPServer", opts)
+	want = []string{"http", "server"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("acronym split = %v, want %v", got, want)
+	}
+	// Disabled camel splitting keeps the word whole.
+	opts.SplitCamelCase = false
+	got = Tokens("NewYorkCity", opts)
+	want = []string{"newyorkcity"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("no-split = %v, want %v", got, want)
+	}
+}
+
+func TestTokensDigits(t *testing.T) {
+	opts := Default()
+	got := Tokens("Apollo 11 landed 1969", opts)
+	want := []string{"apollo", "11", "landed", "1969"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	opts.DropNumbersUnder = 4
+	got = Tokens("Apollo 11 landed 1969", opts)
+	want = []string{"apollo", "landed", "1969"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokensMaxLength(t *testing.T) {
+	opts := Default()
+	opts.MaxLength = 5
+	got := Tokens("abcdefghij", opts)
+	if !reflect.DeepEqual(got, []string{"abcde"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestTokenSet(t *testing.T) {
+	s := TokenSet("alpha beta alpha", Default())
+	if len(s) != 2 {
+		t.Fatalf("set size %d, want 2", len(s))
+	}
+	if _, ok := s["alpha"]; !ok {
+		t.Error("missing alpha")
+	}
+}
+
+func TestURIInfix(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"http://dbpedia.org/resource/New_York_City", "New_York_City"},
+		{"http://dbpedia.org/resource/Paris_2", "Paris"},
+		{"http://ex.org/onto#Person", "Person"},
+		{"http://ex.org/id/item-42", "item"},
+		{"http://ex.org/x/", "x"},
+		{"nocolonplain", "nocolonplain"},
+	}
+	for _, c := range cases {
+		if got := URIInfix(c.in); got != c.want {
+			t.Errorf("URIInfix(%s) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestURITokens(t *testing.T) {
+	got := URITokens("http://dbpedia.org/resource/New_York_City_3", Default())
+	want := []string{"new", "york", "city"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("URITokens = %v, want %v", got, want)
+	}
+}
+
+// Property: tokenization is idempotent — tokenizing the join of tokens
+// reproduces the same token set.
+func TestTokensIdempotent(t *testing.T) {
+	opts := Default()
+	f := func(s string) bool {
+		first := Tokens(s, opts)
+		joined := ""
+		for i, tok := range first {
+			if i > 0 {
+				joined += " "
+			}
+			joined += tok
+		}
+		second := Tokens(joined, opts)
+		return reflect.DeepEqual(first, second)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no duplicates, and every token is already normalized
+// (lower-case, length within bounds, not a stop word).
+func TestTokensInvariants(t *testing.T) {
+	opts := Default()
+	f := func(s string) bool {
+		seen := map[string]bool{}
+		for _, tok := range Tokens(s, opts) {
+			if seen[tok] {
+				return false
+			}
+			seen[tok] = true
+			n := len([]rune(tok))
+			if n < opts.MinLength || (opts.MaxLength > 0 && n > opts.MaxLength) {
+				return false
+			}
+			if stopWords[tok] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

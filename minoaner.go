@@ -1,0 +1,434 @@
+// Package minoaner is the public API of the Minoan ER reproduction: a
+// progressive entity-resolution pipeline for Web-of-Data knowledge
+// bases (EDBT 2016, Efthymiou, Stefanidis, Christophides).
+//
+// The pipeline mirrors Figure 1 of the paper:
+//
+//	LoadKB → blocking → meta-blocking → scheduling → matching → update
+//
+// Load one or more knowledge bases as N-Triples, then call Resolve (or
+// ResolveBudget for a pay-as-you-go run under a comparison budget).
+// The result holds the confirmed matches in the order they were found,
+// the final clusters, and per-stage statistics; SameAs serializes the
+// discovered links back to owl:sameAs N-Triples.
+//
+//	p := minoaner.New(minoaner.Defaults())
+//	if err := p.LoadKB("dbp", dbpReader); err != nil { ... }
+//	if err := p.LoadKB("geo", geoReader); err != nil { ... }
+//	res, err := p.Resolve()
+//	for _, m := range res.Matches { fmt.Println(m.A.URI, "==", m.B.URI) }
+package minoaner
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/blocking"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/mapreduce"
+	"repro/internal/match"
+	"repro/internal/metablocking"
+	"repro/internal/parblock"
+	"repro/internal/tokenize"
+)
+
+// Scheme selects the meta-blocking edge-weighting scheme.
+type Scheme = metablocking.Scheme
+
+// Weighting schemes (see internal/metablocking for definitions).
+const (
+	CBS  = metablocking.CBS
+	ECBS = metablocking.ECBS
+	JS   = metablocking.JS
+	EJS  = metablocking.EJS
+	ARCS = metablocking.ARCS
+)
+
+// Pruning selects the meta-blocking pruning algorithm.
+type Pruning = metablocking.Pruning
+
+// Pruning algorithms (see internal/metablocking for definitions).
+const (
+	WEP = metablocking.WEP
+	CEP = metablocking.CEP
+	WNP = metablocking.WNP
+	CNP = metablocking.CNP
+)
+
+// Clustering selects how confirmed matches become final clusters.
+type Clustering = cluster.Algorithm
+
+// Clustering algorithms for Config.Clustering.
+const (
+	// TransitiveClosure unions every confirmed match (the default and
+	// the paper's implicit choice).
+	TransitiveClosure = cluster.TransitiveClosure
+	// CenterClustering builds star clusters, refusing to chain weak
+	// matches — much higher precision on dirty data (see ablation A6).
+	CenterClustering = cluster.Center
+	// UniqueMappingClustering greedily enforces one partner per other
+	// KB, by descending score.
+	UniqueMappingClustering = cluster.UniqueMapping
+)
+
+// BenefitModel selects what the progressive scheduler maximizes.
+type BenefitModel = core.BenefitModel
+
+// Benefit models: the paper's three data-quality benefits plus the
+// pair-quantity benefit of prior work.
+var (
+	Quantity                 BenefitModel = core.Quantity{}
+	AttributeCompleteness    BenefitModel = core.AttributeCompleteness{}
+	EntityCoverage           BenefitModel = core.EntityCoverage{}
+	RelationshipCompleteness BenefitModel = core.RelationshipCompleteness{}
+)
+
+// Config tunes every pipeline stage. Zero fields take the documented
+// defaults; Defaults() returns the paper-faithful configuration.
+type Config struct {
+	// Tokenize controls schema-agnostic token extraction.
+	Tokenize tokenize.Options
+	// PurgeMaxBlockSize caps block size before meta-blocking
+	// (0 = automatic; negative = skip purging).
+	PurgeMaxBlockSize int
+	// FilterRatio keeps each description in this fraction of its
+	// smallest blocks (0 = default 0.8; negative = skip filtering).
+	FilterRatio float64
+	// Scheme is the edge-weighting scheme (default ECBS).
+	Scheme Scheme
+	// Pruning is the pruning algorithm (default WNP).
+	Pruning Pruning
+	// Reciprocal requires both endpoints to retain an edge in
+	// node-centric pruning.
+	Reciprocal bool
+	// Match configures the similarity matcher.
+	Match match.Options
+	// Benefit is the targeted benefit model (nil = attribute
+	// completeness).
+	Benefit BenefitModel
+	// DisableDiscovery turns off neighbor-evidence discovery of
+	// comparisons blocking missed.
+	DisableDiscovery bool
+	// Clustering selects how confirmed matches become the final
+	// clusters (default TransitiveClosure; CenterClustering or
+	// UniqueMappingClustering trade a little recall for precision).
+	Clustering Clustering
+	// Workers > 1 runs blocking and meta-blocking on the in-process
+	// MapReduce engine with that many workers (identical results).
+	Workers int
+}
+
+// Defaults returns the configuration used throughout the paper
+// reproduction.
+func Defaults() Config {
+	return Config{
+		Tokenize:    tokenize.Default(),
+		FilterRatio: 0.8,
+		Scheme:      ECBS,
+		Pruning:     WNP,
+		Match:       match.DefaultOptions(),
+		Benefit:     AttributeCompleteness,
+	}
+}
+
+// Ref names one entity description: its source KB and its URI.
+type Ref struct {
+	KB  string
+	URI string
+}
+
+// Match is one confirmed pair, in confirmation order.
+type Match struct {
+	A, B Ref
+	// Score is the combined similarity at confirmation time.
+	Score float64
+	// Discovered is true when blocking never proposed this pair — it
+	// was found through neighbor evidence in the update phase.
+	Discovered bool
+	// Rechecked is true when the pair failed an earlier comparison and
+	// was re-examined after its neighbors resolved.
+	Rechecked bool
+}
+
+// Cluster is one resolved real-world entity: all its descriptions.
+type Cluster []Ref
+
+// Stats reports per-stage pipeline measurements.
+type Stats struct {
+	Descriptions    int
+	KBs             int
+	BruteForce      int // comparisons without blocking
+	Blocks          int // after cleaning
+	BlockCandidates int // distinct pairs after cleaning
+	PrunedEdges     int // comparisons retained by meta-blocking
+	Comparisons     int // comparisons actually executed
+	DiscoveredCmps  int // executed comparisons found by the update phase
+	Matches         int
+}
+
+// Result of a pipeline run.
+type Result struct {
+	Matches  []Match
+	Clusters []Cluster
+	Stats    Stats
+}
+
+// SameAs serializes the confirmed matches as owl:sameAs N-Triples.
+func (r *Result) SameAs() string {
+	out := ""
+	for _, m := range r.Matches {
+		out += "<" + m.A.URI + "> <http://www.w3.org/2002/07/owl#sameAs> <" + m.B.URI + "> .\n"
+	}
+	return out
+}
+
+// Pipeline accumulates knowledge bases and resolves them.
+type Pipeline struct {
+	cfg Config
+	col *kb.Collection
+}
+
+// New returns an empty pipeline with the given configuration.
+func New(cfg Config) *Pipeline {
+	var zeroTok tokenize.Options
+	if cfg.Tokenize == zeroTok {
+		cfg.Tokenize = tokenize.Default()
+	}
+	if cfg.FilterRatio == 0 {
+		cfg.FilterRatio = 0.8
+	}
+	if cfg.Benefit == nil {
+		cfg.Benefit = AttributeCompleteness
+	}
+	cfg.Match.Tokenize = cfg.Tokenize
+	return &Pipeline{cfg: cfg, col: kb.NewCollection()}
+}
+
+// LoadKB reads an N-Triples stream as one knowledge base. Literal
+// objects become attributes, resource objects become links, and
+// owl:sameAs statements are ignored (they are ground truth, not
+// evidence). Loading several streams under one name merges them;
+// loading distinct names enables clean–clean resolution across them.
+func (p *Pipeline) LoadKB(name string, r io.Reader) error {
+	if name == "" {
+		return fmt.Errorf("minoaner: KB name must not be empty")
+	}
+	return p.col.Load(name, r)
+}
+
+// LoadKBTurtle reads a Turtle stream as one knowledge base.
+func (p *Pipeline) LoadKBTurtle(name string, r io.Reader) error {
+	if name == "" {
+		return fmt.Errorf("minoaner: KB name must not be empty")
+	}
+	return p.col.LoadTurtle(name, r)
+}
+
+// LoadQuads reads an N-Quads stream, mapping each named graph to its
+// own knowledge base — the layout of Web-crawl corpora (BTC), where
+// the graph label records the publishing dataset. Statements in the
+// default graph land in defaultKB.
+func (p *Pipeline) LoadQuads(defaultKB string, r io.Reader) error {
+	if defaultKB == "" {
+		return fmt.Errorf("minoaner: default KB name must not be empty")
+	}
+	return p.col.LoadQuads(defaultKB, r)
+}
+
+// LoadKBFile reads an RDF file as one knowledge base. Files ending in
+// .ttl or .turtle parse as Turtle, everything else as N-Triples.
+func (p *Pipeline) LoadKBFile(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("minoaner: %w", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".ttl") || strings.HasSuffix(path, ".turtle") {
+		return p.LoadKBTurtle(name, f)
+	}
+	return p.LoadKB(name, f)
+}
+
+// AddDescription inserts one description directly (for programmatic
+// construction without RDF). Attribute values carry token evidence;
+// links name other descriptions' URIs in the same KB.
+func (p *Pipeline) AddDescription(kbName, uri string, attrs map[string]string, links []string) error {
+	if kbName == "" || uri == "" {
+		return fmt.Errorf("minoaner: KB name and URI must not be empty")
+	}
+	d := &kb.Description{URI: uri, KB: kbName, Links: links}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		d.Attrs = append(d.Attrs, kb.Attribute{Predicate: k, Value: attrs[k]})
+	}
+	p.col.Add(d)
+	return nil
+}
+
+// NumDescriptions returns how many descriptions are loaded.
+func (p *Pipeline) NumDescriptions() int { return p.col.Len() }
+
+// Resolve runs the full pipeline with an unlimited comparison budget.
+func (p *Pipeline) Resolve() (*Result, error) { return p.ResolveBudget(0) }
+
+// ResolveBudget runs the pipeline, executing at most budget
+// comparisons (0 = unlimited) — the paper's pay-as-you-go mode: the
+// scheduler spends the budget on the most beneficial comparisons
+// first.
+func (p *Pipeline) ResolveBudget(budget int) (*Result, error) {
+	s, err := p.Start()
+	if err != nil {
+		return nil, err
+	}
+	return s.Resume(budget)
+}
+
+// Session is a resumable pay-as-you-go resolution: blocking and
+// meta-blocking run once at Start, then each Resume spends a further
+// comparison budget and returns the cumulative result so far. Matches
+// found in earlier legs stay resolved; the update phase keeps feeding
+// evidence across legs.
+type Session struct {
+	p        *Pipeline
+	resolver *core.Resolver
+	matcher  *match.Matcher
+	base     Stats
+	trace    []core.Step
+}
+
+// Start freezes the loaded KBs and prepares the comparison queue.
+func (p *Pipeline) Start() (*Session, error) {
+	if p.col.Len() == 0 {
+		return nil, fmt.Errorf("minoaner: no descriptions loaded")
+	}
+	// Stage 1: blocking (+ cleaning).
+	var col *blocking.Collection
+	var err error
+	if p.cfg.Workers > 1 {
+		col, err = parblock.TokenBlocking(p.col, p.cfg.Tokenize, mapreduce.Config{Workers: p.cfg.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("minoaner: parallel blocking: %w", err)
+		}
+	} else {
+		col = blocking.TokenBlocking(p.col, p.cfg.Tokenize)
+	}
+	if p.cfg.PurgeMaxBlockSize >= 0 {
+		col = col.Purge(p.cfg.PurgeMaxBlockSize)
+	}
+	if p.cfg.FilterRatio > 0 {
+		col = col.Filter(p.cfg.FilterRatio)
+	}
+
+	// Stage 2: meta-blocking.
+	var graph *metablocking.Graph
+	if p.cfg.Workers > 1 {
+		graph, err = parblock.Graph(col, p.cfg.Scheme, mapreduce.Config{Workers: p.cfg.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("minoaner: parallel meta-blocking: %w", err)
+		}
+	} else {
+		graph = metablocking.Build(col, p.cfg.Scheme)
+	}
+	pruneOpts := metablocking.PruneOptions{
+		Reciprocal:  p.cfg.Reciprocal,
+		Assignments: col.Assignments(),
+	}
+	var edges []metablocking.Edge
+	if p.cfg.Workers > 1 && (p.cfg.Pruning == WNP || p.cfg.Pruning == CNP) {
+		edges, err = parblock.PruneNodeCentric(graph, p.cfg.Pruning, pruneOpts, mapreduce.Config{Workers: p.cfg.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("minoaner: parallel pruning: %w", err)
+		}
+	} else {
+		edges = graph.Prune(p.cfg.Pruning, pruneOpts)
+	}
+
+	// Stages 3–5 are deferred to Resume.
+	matcher := match.NewMatcher(p.col, p.cfg.Match)
+	resolver := core.NewResolver(matcher, edges, core.Config{
+		Benefit:          p.cfg.Benefit,
+		DisableDiscovery: p.cfg.DisableDiscovery,
+	})
+	return &Session{
+		p:        p,
+		resolver: resolver,
+		matcher:  matcher,
+		base: Stats{
+			Descriptions:    p.col.Len(),
+			KBs:             p.col.NumKBs(),
+			BruteForce:      bruteForce(p.col),
+			Blocks:          col.NumBlocks(),
+			BlockCandidates: len(col.DistinctPairs()),
+			PrunedEdges:     len(edges),
+		},
+	}, nil
+}
+
+// Resume executes up to budget further comparisons (0 = run to
+// completion) and returns the cumulative result of the session.
+func (s *Session) Resume(budget int) (*Result, error) {
+	res := s.resolver.RunBudget(budget)
+	s.trace = append(s.trace, res.Trace...)
+	p := s.p
+
+	out := &Result{Stats: s.base}
+	for _, step := range s.trace {
+		out.Stats.Comparisons++
+		if step.Discovered {
+			out.Stats.DiscoveredCmps++
+		}
+		if !step.Matched {
+			continue
+		}
+		out.Stats.Matches++
+		out.Matches = append(out.Matches, Match{
+			A:          p.ref(step.A),
+			B:          p.ref(step.B),
+			Score:      step.Score,
+			Discovered: step.Discovered,
+			Rechecked:  step.Recheck,
+		})
+	}
+	final := cluster.Cluster(p.cfg.Clustering, cluster.FromSteps(s.trace), p.col, p.col.Len())
+	for _, members := range final.Resolved() {
+		cl := make(Cluster, len(members))
+		for i, id := range members {
+			cl[i] = p.ref(id)
+		}
+		out.Clusters = append(out.Clusters, cl)
+	}
+	return out, nil
+}
+
+// Pending returns an upper bound on the comparisons still queued.
+func (s *Session) Pending() int { return s.resolver.Pending() }
+
+func (p *Pipeline) ref(id int) Ref {
+	d := p.col.Desc(id)
+	return Ref{KB: d.KB, URI: d.URI}
+}
+
+func bruteForce(c *kb.Collection) int {
+	n := c.Len()
+	total := n * (n - 1) / 2
+	if c.NumKBs() <= 1 {
+		return total
+	}
+	perKB := make([]int, c.NumKBs())
+	for id := 0; id < n; id++ {
+		perKB[c.KBOf(id)]++
+	}
+	for _, k := range perKB {
+		total -= k * (k - 1) / 2
+	}
+	return total
+}
