@@ -9,6 +9,7 @@
 package minoaner_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/metablocking"
 	"repro/internal/parblock"
+	"repro/internal/parmeta"
 	"repro/internal/rdf"
 	"repro/internal/tokenize"
 )
@@ -72,6 +74,12 @@ func BenchmarkT4NeighborEvidence(b *testing.B) {
 func BenchmarkT5Parallel(b *testing.B) {
 	report(b, func() *experiments.Table {
 		return experiments.T5Parallel(benchSeed, 400, []int{1, 2, 4, 8})
+	})
+}
+
+func BenchmarkT7ParallelShared(b *testing.B) {
+	report(b, func() *experiments.Table {
+		return experiments.T7ParallelShared(benchSeed, 400, []int{1, 2, 4, 8})
 	})
 }
 
@@ -148,6 +156,37 @@ func BenchmarkPruneWNP(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Prune(metablocking.WNP, opts)
+	}
+}
+
+// BenchmarkParMetaBuild sweeps the shared-memory builder's worker
+// count on one workload; compare ns/op across sub-benchmarks for the
+// speedup curve (workers=1 is the sequential reference engine).
+func BenchmarkParMetaBuild(b *testing.B) {
+	w := benchWorld(b, 600)
+	col := blocking.TokenBlocking(w.Collection, tokenize.Default()).Purge(0).Filter(0.8)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				parmeta.Build(col, metablocking.ECBS, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkParMetaPrune sweeps the parallel pruner's worker count over
+// the node-centric WNP algorithm, the pipeline default.
+func BenchmarkParMetaPrune(b *testing.B) {
+	w := benchWorld(b, 600)
+	col := blocking.TokenBlocking(w.Collection, tokenize.Default()).Purge(0).Filter(0.8)
+	g := parmeta.Build(col, metablocking.ECBS, 4)
+	opts := metablocking.PruneOptions{Assignments: col.Assignments()}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				parmeta.Prune(g, metablocking.WNP, opts, workers)
+			}
+		})
 	}
 }
 

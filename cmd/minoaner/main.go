@@ -48,7 +48,8 @@ func run(args []string) error {
 	fs.Var(&kbs, "kb", "knowledge base as name=path.nt (repeatable)")
 	budget := fs.Int("budget", 0, "comparison budget (0 = unlimited)")
 	out := fs.String("out", "", "write owl:sameAs links to this file (default stdout)")
-	workers := fs.Int("workers", 0, "MapReduce workers for blocking/meta-blocking (0/1 = sequential)")
+	workers := fs.Int("workers", 0, "meta-blocking workers (0 = one per CPU, 1 = sequential)")
+	mr := fs.Bool("mapreduce", false, "use the in-process MapReduce engine instead of the shared-memory engine")
 	verbose := fs.Bool("v", false, "print per-match lines to stderr")
 	truth := fs.String("truth", "", "owl:sameAs ground-truth file: report precision/recall instead of links")
 	clustering := fs.String("clustering", "closure", "final clustering: closure | center | unique")
@@ -62,6 +63,7 @@ func run(args []string) error {
 
 	cfg := minoaner.Defaults()
 	cfg.Workers = *workers
+	cfg.MapReduce = *mr
 	switch *clustering {
 	case "closure":
 		cfg.Clustering = minoaner.TransitiveClosure

@@ -1,7 +1,11 @@
-// parallel runs blocking and meta-blocking on the in-process MapReduce
-// engine with an increasing worker count, prints the wall-clock sweep,
-// and verifies that every worker count produces the identical blocking
-// graph — the property that makes the Hadoop realization of [4] safe.
+// parallel runs meta-blocking on both parallel engines — the
+// shared-memory engine (internal/parmeta) and the in-process MapReduce
+// simulation (internal/parblock) — with an increasing worker count,
+// prints the wall-clock sweep, and verifies that every engine and
+// every worker count produces the identical pruned blocking graph: the
+// property that makes both the Hadoop realization of [4] and the
+// multicore realization safe to substitute for the sequential
+// reference.
 //
 //	go run ./examples/parallel
 package main
@@ -11,10 +15,12 @@ import (
 	"log"
 	"time"
 
+	"repro/internal/blocking"
 	"repro/internal/datagen"
 	"repro/internal/mapreduce"
 	"repro/internal/metablocking"
 	"repro/internal/parblock"
+	"repro/internal/parmeta"
 	"repro/internal/tokenize"
 )
 
@@ -25,17 +31,48 @@ func main() {
 	}
 	fmt.Printf("workload: %s\n\n", world.Collection.Stats())
 
+	var refSet bool
 	var refEdges int
 	var refWeight float64
-	fmt.Printf("%-8s  %-10s  %-8s  %-10s\n", "workers", "wall", "edges", "Σweight")
+	check := func(engine string, workers int, kept []metablocking.Edge, wall time.Duration) {
+		sum := 0.0
+		for _, e := range kept {
+			sum += e.Weight
+		}
+		fmt.Printf("%-14s  %-8d  %-10s  %-8d  %-10.1f\n",
+			engine, workers, wall.Round(time.Millisecond), len(kept), sum)
+		if !refSet {
+			refSet, refEdges, refWeight = true, len(kept), sum
+			return
+		}
+		if len(kept) != refEdges || abs(sum-refWeight) > 1e-6 {
+			log.Fatalf("%s with %d workers changed the result: %d edges (Σ %.3f) vs %d (Σ %.3f)",
+				engine, workers, len(kept), sum, refEdges, refWeight)
+		}
+	}
+
+	fmt.Printf("%-14s  %-8s  %-10s  %-8s  %-10s\n", "engine", "workers", "wall", "edges", "Σweight")
+
+	// Shared-memory engine: sequential blocking feeds the concurrent
+	// graph builder and pruner directly — no serialization, no shuffle.
+	col := blocking.TokenBlocking(world.Collection, tokenize.Default())
+	for _, workers := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		graph := parmeta.Build(col, metablocking.ECBS, workers)
+		kept := parmeta.Prune(graph, metablocking.WNP, metablocking.PruneOptions{}, workers)
+		check("shared-memory", workers, kept, time.Since(start))
+	}
+
+	// MapReduce simulation: the same dataflow a Hadoop cluster would
+	// run, including blocking as a map/reduce pass.
 	for _, workers := range []int{1, 2, 4, 8} {
 		cfg := mapreduce.Config{Workers: workers}
 		start := time.Now()
-		col, err := parblock.TokenBlocking(world.Collection, tokenize.Default(), cfg)
+		mrCol, err := parblock.TokenBlocking(world.Collection, tokenize.Default(), cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		graph, err := parblock.Graph(col, metablocking.ECBS, cfg)
+		graph, err := parblock.Graph(mrCol, metablocking.ECBS, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,24 +81,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		wall := time.Since(start)
-
-		sum := 0.0
-		for _, e := range kept {
-			sum += e.Weight
-		}
-		fmt.Printf("%-8d  %-10s  %-8d  %-10.1f\n", workers, wall.Round(time.Millisecond), len(kept), sum)
-
-		if refEdges == 0 {
-			refEdges, refWeight = len(kept), sum
-			continue
-		}
-		if len(kept) != refEdges || abs(sum-refWeight) > 1e-6 {
-			log.Fatalf("worker count %d changed the result: %d edges (Σ %.3f) vs %d (Σ %.3f)",
-				workers, len(kept), sum, refEdges, refWeight)
-		}
+		check("mapreduce", workers, kept, time.Since(start))
 	}
-	fmt.Println("\nall worker counts produced the identical pruned graph")
+
+	fmt.Println("\nboth engines, all worker counts: identical pruned graph")
 }
 
 func abs(x float64) float64 {

@@ -182,12 +182,31 @@ func TestPipelineParallelMatchesSequential(t *testing.T) {
 		}
 		return res
 	}
-	seq := load(minoaner.Defaults())
-	cfg := minoaner.Defaults()
-	cfg.Workers = 4
-	par := load(cfg)
-	if seq.Stats.Matches != par.Stats.Matches || seq.Stats.PrunedEdges != par.Stats.PrunedEdges {
-		t.Errorf("parallel run differs: seq=%+v par=%+v", seq.Stats, par.Stats)
+	seqCfg := minoaner.Defaults()
+	seqCfg.Workers = 1
+	seq := load(seqCfg)
+
+	parCfg := minoaner.Defaults()
+	parCfg.Workers = 4
+	par := load(parCfg)
+
+	mrCfg := minoaner.Defaults()
+	mrCfg.Workers = 4
+	mrCfg.MapReduce = true
+	mr := load(mrCfg)
+
+	for name, got := range map[string]*minoaner.Result{"shared-memory": par, "mapreduce": mr} {
+		if seq.Stats != got.Stats {
+			t.Errorf("%s stats differ: seq=%+v got=%+v", name, seq.Stats, got.Stats)
+		}
+		if len(seq.Matches) != len(got.Matches) {
+			t.Fatalf("%s: %d matches, want %d", name, len(got.Matches), len(seq.Matches))
+		}
+		for i := range seq.Matches {
+			if seq.Matches[i] != got.Matches[i] {
+				t.Errorf("%s: match %d = %+v, want %+v", name, i, got.Matches[i], seq.Matches[i])
+			}
+		}
 	}
 }
 

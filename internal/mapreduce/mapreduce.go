@@ -9,7 +9,6 @@ package mapreduce
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 )
@@ -131,7 +130,7 @@ func Run(job Job, inputs []string, cfg Config) (*Result, error) {
 			defer wg.Done()
 			parts := make([][]KV, cfg.Partitions)
 			emit := func(kv KV) {
-				p := partition(kv.Key, cfg.Partitions)
+				p := Partition(kv.Key, cfg.Partitions)
 				parts[p] = append(parts[p], kv)
 			}
 			for _, in := range splits[w] {
@@ -254,12 +253,6 @@ func combine(fn ReduceFunc, kvs []KV) ([]KV, error) {
 		}
 	}
 	return out, nil
-}
-
-func partition(key string, n int) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(n))
 }
 
 // Chain runs a sequence of jobs, feeding each job's output keys+values

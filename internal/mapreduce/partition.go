@@ -1,0 +1,46 @@
+package mapreduce
+
+import "hash/fnv"
+
+// Partition assigns a shuffle key to one of n partitions by FNV-1a
+// hash — the engine's default partitioner, exported so other parallel
+// realizations (and tests) can route keys exactly the way the engine
+// does.
+func Partition(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Ranges splits [0, n) into at most parts contiguous, near-equal
+// ranges, omitting empty ones. Contiguity is what makes range sharding
+// order-preserving: concatenating per-range results in range order
+// replays the sequential iteration order. The shared-memory engine
+// (internal/parmeta) shards blocks, edges, and nodes with it.
+func Ranges(n, parts int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Range, 0, parts)
+	for i := 0; i < parts; i++ {
+		r := Range{Lo: i * n / parts, Hi: (i + 1) * n / parts}
+		if r.Lo < r.Hi {
+			out = append(out, r)
+		}
+	}
+	return out
+}

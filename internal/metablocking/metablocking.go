@@ -153,9 +153,19 @@ func Build(col *blocking.Collection, scheme Scheme) *Graph {
 // rebuilding the graph.
 func (g *Graph) Reweigh(scheme Scheme) { g.reweigh(scheme) }
 
-func (g *Graph) reweigh(scheme Scheme) {
+// ReweighRange recomputes the weights of edges [lo, hi) under scheme.
+// Each edge's weight reads only that edge's statistics and immutable
+// per-node aggregates, so disjoint ranges may be reweighed
+// concurrently — the shared-memory parallel engine (internal/parmeta)
+// shards Reweigh with it, producing weights bit-identical to the
+// sequential pass.
+func (g *Graph) ReweighRange(scheme Scheme, lo, hi int) { g.reweighRange(scheme, lo, hi) }
+
+func (g *Graph) reweigh(scheme Scheme) { g.reweighRange(scheme, 0, len(g.Edges)) }
+
+func (g *Graph) reweighRange(scheme Scheme, lo, hi int) {
 	nEdges := float64(len(g.Edges))
-	for i := range g.Edges {
+	for i := lo; i < hi; i++ {
 		e := &g.Edges[i]
 		cbs := float64(g.common[i])
 		ba, bb := float64(g.blocks[e.A]), float64(g.blocks[e.B])

@@ -1,0 +1,564 @@
+// Package parmeta is the shared-memory parallel meta-blocking engine:
+// the multicore realization of blocking-graph construction, weighting,
+// and pruning that internal/metablocking implements sequentially and
+// internal/parblock simulates as MapReduce jobs.
+//
+// The engine shards work over contiguous block, edge, and node ranges
+// and merges per-shard state lock-free: every partition of the edge
+// space is owned by exactly one goroutine, so no mutex guards the
+// accumulation maps, and floating-point evidence is summed in the same
+// global block order as the sequential builder. Results are therefore
+// bit-identical to internal/metablocking for every weighting scheme
+// and pruning algorithm — the differential tests assert it — while
+// Build and Prune scale with cores.
+//
+// Three properties make the sharding exact rather than merely
+// approximately equivalent:
+//
+//  1. Block shards are contiguous and merged in shard order, so each
+//     edge's CBS/ARCS accumulators see their per-block contributions
+//     in exactly the sequential order (float addition is not
+//     associative, so order is part of the contract).
+//  2. The edge-space partition function is monotone in the smaller
+//     endpoint, so sorted partitions concatenate directly into the
+//     canonical (A, B) edge order with no global sort.
+//  3. Node-centric pruning builds a deterministic CSR adjacency whose
+//     per-node edge lists are index-ascending — the same order the
+//     sequential engine appends them — so per-neighborhood float sums
+//     and top-k selections replay exactly.
+package parmeta
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/blocking"
+	"repro/internal/container"
+	"repro/internal/mapreduce"
+	"repro/internal/metablocking"
+)
+
+// partsPerWorker oversubscribes edge-space partitions relative to
+// workers so the dynamic merge schedule stays balanced when the
+// entity-range partition is skewed (clean–clean graphs put every
+// smaller endpoint in the first KB's id range).
+const partsPerWorker = 4
+
+// Workers resolves a worker-count option: values ≤ 0 mean one worker
+// per available CPU (GOMAXPROCS), anything else is taken literally.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// occurrence is one pair co-occurrence emitted by the map phase:
+// endpoints (a < b) and the block's reciprocal comparison count.
+type occurrence struct {
+	a, b int32
+	inv  float64
+}
+
+// record is one distinct edge's aggregated evidence.
+type record struct {
+	a, b   int32
+	common int32
+	arcs   float64
+}
+
+// Build constructs the blocking graph concurrently and computes edge
+// weights under the given scheme. The result is identical — including
+// float weights, bit for bit — to metablocking.Build for any worker
+// count; workers ≤ 0 means GOMAXPROCS and 1 falls through to the
+// sequential builder.
+func Build(col *blocking.Collection, scheme metablocking.Scheme, workers int) *metablocking.Graph {
+	workers = Workers(workers)
+	if workers == 1 || len(col.Blocks) == 0 {
+		return metablocking.Build(col, scheme)
+	}
+	numNodes := col.Source.Len()
+	nParts := workers * partsPerWorker
+
+	// Map: contiguous block shards. Each worker walks its blocks in
+	// order and deals every pair occurrence to the entity-range
+	// partition of the smaller endpoint.
+	shards := mapreduce.Ranges(len(col.Blocks), workers)
+	emits := make([][][]occurrence, len(shards))
+	var wg sync.WaitGroup
+	for s, r := range shards {
+		wg.Add(1)
+		go func(s int, r mapreduce.Range) {
+			defer wg.Done()
+			parts := make([][]occurrence, nParts)
+			for bi := r.Lo; bi < r.Hi; bi++ {
+				b := &col.Blocks[bi]
+				cmp := b.Comparisons(col.Source, col.CleanClean)
+				if cmp == 0 {
+					continue
+				}
+				inv := 1 / float64(cmp)
+				ents := b.Entities
+				for x := 0; x < len(ents); x++ {
+					for y := x + 1; y < len(ents); y++ {
+						a, bb := ents[x], ents[y]
+						if col.CleanClean && !col.Source.CrossKB(a, bb) {
+							continue
+						}
+						if a > bb {
+							a, bb = bb, a
+						}
+						p := a * nParts / numNodes
+						parts[p] = append(parts[p], occurrence{a: int32(a), b: int32(bb), inv: inv})
+					}
+				}
+			}
+			emits[s] = parts
+		}(s, r)
+	}
+	wg.Wait()
+
+	// Merge: each partition is owned by exactly one goroutine (claimed
+	// off a shared counter), visiting shards in ascending order so every
+	// edge's evidence accumulates in global block order.
+	partRecs := make([][]record, nParts)
+	forEachPart(nParts, workers, func(p int) {
+		idx := make(map[uint64]int32)
+		var recs []record
+		for s := range emits {
+			for _, o := range emits[s][p] {
+				key := uint64(uint32(o.a))<<32 | uint64(uint32(o.b))
+				i, ok := idx[key]
+				if !ok {
+					i = int32(len(recs))
+					idx[key] = i
+					recs = append(recs, record{a: o.a, b: o.b})
+				}
+				recs[i].common++
+				recs[i].arcs += o.inv
+			}
+		}
+		sort.Slice(recs, func(x, y int) bool {
+			if recs[x].a != recs[y].a {
+				return recs[x].a < recs[y].a
+			}
+			return recs[x].b < recs[y].b
+		})
+		partRecs[p] = recs
+	})
+
+	// Assemble: the partition function is monotone in A, so sorted
+	// partitions concatenate directly into canonical (A, B) order.
+	total := 0
+	offsets := make([]int, nParts)
+	for p, recs := range partRecs {
+		offsets[p] = total
+		total += len(recs)
+	}
+	edges := make([]metablocking.Edge, total)
+	common := make([]int, total)
+	arcs := make([]float64, total)
+	forEachPart(nParts, workers, func(p int) {
+		o := offsets[p]
+		for i, r := range partRecs[p] {
+			edges[o+i] = metablocking.Edge{A: int(r.a), B: int(r.b)}
+			common[o+i] = int(r.common)
+			arcs[o+i] = r.arcs
+		}
+	})
+
+	g := metablocking.NewGraphFromStats(col, edges, common, arcs)
+	Reweigh(g, scheme, workers)
+	return g
+}
+
+// Reweigh recomputes edge weights under a different scheme, sharding
+// the edge range across workers. Identical to Graph.Reweigh for any
+// worker count.
+func Reweigh(g *metablocking.Graph, scheme metablocking.Scheme, workers int) {
+	workers = Workers(workers)
+	shards := mapreduce.Ranges(len(g.Edges), workers)
+	if workers == 1 || len(shards) < 2 {
+		g.Reweigh(scheme)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, r := range shards {
+		wg.Add(1)
+		go func(r mapreduce.Range) {
+			defer wg.Done()
+			g.ReweighRange(scheme, r.Lo, r.Hi)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Prune returns the retained edges under the chosen algorithm, sorted
+// by descending weight (ties by (A, B) ascending) — the same contract,
+// and the same edges, as Graph.Prune, for any worker count. Multiple
+// Prune calls may run concurrently on one graph: pruning only reads
+// the graph.
+func Prune(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions, workers int) []metablocking.Edge {
+	workers = Workers(workers)
+	if workers == 1 || len(g.Edges) == 0 {
+		return g.Prune(alg, opts)
+	}
+	var kept []metablocking.Edge
+	switch alg {
+	case metablocking.WEP:
+		kept = pruneWEP(g, workers)
+	case metablocking.CEP:
+		kept = pruneCEP(g, opts, workers)
+	case metablocking.WNP, metablocking.CNP:
+		kept = pruneNode(g, alg, opts, workers)
+	}
+	sortEdgesParallel(kept, workers)
+	return kept
+}
+
+func pruneWEP(g *metablocking.Graph, workers int) []metablocking.Edge {
+	// The mean is summed sequentially in edge order: float addition is
+	// not associative, and the threshold must match the sequential
+	// engine bit for bit. The filter — the allocation-heavy part — is
+	// what shards.
+	sum := 0.0
+	for _, e := range g.Edges {
+		sum += e.Weight
+	}
+	mean := sum / float64(len(g.Edges))
+	shards := mapreduce.Ranges(len(g.Edges), workers)
+	parts := make([][]metablocking.Edge, len(shards))
+	var wg sync.WaitGroup
+	for s, r := range shards {
+		wg.Add(1)
+		go func(s int, r mapreduce.Range) {
+			defer wg.Done()
+			var kept []metablocking.Edge
+			for _, e := range g.Edges[r.Lo:r.Hi] {
+				if e.Weight >= mean {
+					kept = append(kept, e)
+				}
+			}
+			parts[s] = kept
+		}(s, r)
+	}
+	wg.Wait()
+	return concat(parts)
+}
+
+// cepLess ranks edges for cardinality edge pruning: lighter first,
+// ties broken so that later (A, B) ranks lower — the sequential
+// engine's deterministic tie-break. The order is total (edges are
+// distinct pairs), so the global top-k set is unique no matter how the
+// candidates are sharded.
+func cepLess(a, b metablocking.Edge) bool {
+	if a.Weight != b.Weight {
+		return a.Weight < b.Weight
+	}
+	if a.A != b.A {
+		return a.A > b.A
+	}
+	return a.B > b.B
+}
+
+func pruneCEP(g *metablocking.Graph, opts metablocking.PruneOptions, workers int) []metablocking.Edge {
+	k := opts.K
+	if k <= 0 {
+		k = opts.Assignments / 2
+	}
+	if k <= 0 {
+		k = len(g.Edges)
+	}
+	shards := mapreduce.Ranges(len(g.Edges), workers)
+	winners := make([][]metablocking.Edge, len(shards))
+	var wg sync.WaitGroup
+	for s, r := range shards {
+		wg.Add(1)
+		go func(s int, r mapreduce.Range) {
+			defer wg.Done()
+			top := container.NewBoundedTopK(k, cepLess)
+			for _, e := range g.Edges[r.Lo:r.Hi] {
+				top.Offer(e)
+			}
+			winners[s] = top.Drain()
+		}(s, r)
+	}
+	wg.Wait()
+	// Every member of the global top-k survives its own shard's top-k,
+	// so merging the shard winners through one more selection yields
+	// exactly the sequential result.
+	top := container.NewBoundedTopK(k, cepLess)
+	for _, ws := range winners {
+		for _, e := range ws {
+			top.Offer(e)
+		}
+	}
+	return top.Drain()
+}
+
+// pruneNode runs WNP or CNP: a deterministic parallel CSR adjacency,
+// then per-node retention sharded over node ranges with atomic
+// retained-by counters, then a sharded collect.
+func pruneNode(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions, workers int) []metablocking.Edge {
+	start, csr := adjacency(g, workers)
+	kPerNode := 0
+	if alg == metablocking.CNP {
+		kPerNode = opts.KPerNode
+		if kPerNode <= 0 && g.NumNodes > 0 {
+			kPerNode = (opts.Assignments + g.NumNodes - 1) / g.NumNodes
+		}
+		if kPerNode <= 0 {
+			kPerNode = 1
+		}
+	}
+	retained := make([]int32, len(g.Edges))
+	var wg sync.WaitGroup
+	for _, r := range mapreduce.Ranges(g.NumNodes, workers) {
+		wg.Add(1)
+		go func(r mapreduce.Range) {
+			defer wg.Done()
+			for v := r.Lo; v < r.Hi; v++ {
+				incident := csr[start[v]:start[v+1]]
+				if len(incident) == 0 {
+					continue
+				}
+				switch alg {
+				case metablocking.WNP:
+					// Summed in index-ascending order — the sequential
+					// neighborhood order — for a bit-identical mean.
+					sum := 0.0
+					for _, ei := range incident {
+						sum += g.Edges[ei].Weight
+					}
+					mean := sum / float64(len(incident))
+					for _, ei := range incident {
+						if g.Edges[ei].Weight >= mean {
+							atomic.AddInt32(&retained[ei], 1)
+						}
+					}
+				case metablocking.CNP:
+					top := container.NewBoundedTopK(kPerNode, func(a, b int32) bool {
+						ea, eb := g.Edges[a], g.Edges[b]
+						if ea.Weight != eb.Weight {
+							return ea.Weight < eb.Weight
+						}
+						return a > b
+					})
+					for _, ei := range incident {
+						top.Offer(ei)
+					}
+					for _, ei := range top.Drain() {
+						atomic.AddInt32(&retained[ei], 1)
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	need := int32(1)
+	if opts.Reciprocal {
+		need = 2
+	}
+	shards := mapreduce.Ranges(len(g.Edges), workers)
+	parts := make([][]metablocking.Edge, len(shards))
+	var cwg sync.WaitGroup
+	for s, r := range shards {
+		cwg.Add(1)
+		go func(s int, r mapreduce.Range) {
+			defer cwg.Done()
+			var kept []metablocking.Edge
+			for i := r.Lo; i < r.Hi; i++ {
+				if retained[i] >= need {
+					kept = append(kept, g.Edges[i])
+				}
+			}
+			parts[s] = kept
+		}(s, r)
+	}
+	cwg.Wait()
+	return concat(parts)
+}
+
+// adjacency builds the CSR incidence structure (start, csr) where
+// csr[start[v]:start[v+1]] lists node v's incident edge indices in
+// ascending order. Construction is sharded over contiguous edge
+// ranges; per-node, per-shard cursor ranges are disjoint, so the fill
+// is lock-free and the layout is identical for any worker count.
+func adjacency(g *metablocking.Graph, workers int) (start, csr []int32) {
+	shards := mapreduce.Ranges(len(g.Edges), workers)
+	counts := make([][]int32, len(shards))
+	var wg sync.WaitGroup
+	for s, r := range shards {
+		wg.Add(1)
+		go func(s int, r mapreduce.Range) {
+			defer wg.Done()
+			c := make([]int32, g.NumNodes)
+			for _, e := range g.Edges[r.Lo:r.Hi] {
+				c[e.A]++
+				c[e.B]++
+			}
+			counts[s] = c
+		}(s, r)
+	}
+	wg.Wait()
+
+	// Prefix pass: start[v] is v's slot range; each per-shard count
+	// cell is repurposed as that shard's write cursor within it.
+	start = make([]int32, g.NumNodes+1)
+	pos := int32(0)
+	for v := 0; v < g.NumNodes; v++ {
+		start[v] = pos
+		for s := range counts {
+			c := counts[s][v]
+			counts[s][v] = pos
+			pos += c
+		}
+	}
+	start[g.NumNodes] = pos
+
+	csr = make([]int32, pos)
+	var fwg sync.WaitGroup
+	for s, r := range shards {
+		fwg.Add(1)
+		go func(s int, r mapreduce.Range) {
+			defer fwg.Done()
+			cur := counts[s]
+			for i := r.Lo; i < r.Hi; i++ {
+				e := &g.Edges[i]
+				csr[cur[e.A]] = int32(i)
+				cur[e.A]++
+				csr[cur[e.B]] = int32(i)
+				cur[e.B]++
+			}
+		}(s, r)
+	}
+	fwg.Wait()
+	return start, csr
+}
+
+// edgeBefore is the retained-edge output order: descending weight,
+// ties by ascending (A, B) — total, since edges are distinct pairs.
+func edgeBefore(a, b metablocking.Edge) bool {
+	if a.Weight != b.Weight {
+		return a.Weight > b.Weight
+	}
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}
+
+// sortEdgesParallel sorts es in the retained-edge output order with a
+// chunked parallel merge sort. The comparator is total, so the result
+// is identical to metablocking.SortEdges for any worker count.
+func sortEdgesParallel(es []metablocking.Edge, workers int) {
+	if len(es) < 2 {
+		return
+	}
+	spans := mapreduce.Ranges(len(es), workers)
+	if workers == 1 || len(spans) < 2 {
+		metablocking.SortEdges(es)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, r := range spans {
+		wg.Add(1)
+		go func(r mapreduce.Range) {
+			defer wg.Done()
+			metablocking.SortEdges(es[r.Lo:r.Hi])
+		}(r)
+	}
+	wg.Wait()
+
+	buf := make([]metablocking.Edge, len(es))
+	src, dst := es, buf
+	for len(spans) > 1 {
+		next := make([]mapreduce.Range, 0, (len(spans)+1)/2)
+		var mwg sync.WaitGroup
+		for i := 0; i < len(spans); i += 2 {
+			if i+1 == len(spans) {
+				r := spans[i]
+				mwg.Add(1)
+				go func(r mapreduce.Range) {
+					defer mwg.Done()
+					copy(dst[r.Lo:r.Hi], src[r.Lo:r.Hi])
+				}(r)
+				next = append(next, r)
+				break
+			}
+			a, b := spans[i], spans[i+1]
+			mwg.Add(1)
+			go func(a, b mapreduce.Range) {
+				defer mwg.Done()
+				mergeEdges(dst[a.Lo:b.Hi], src[a.Lo:a.Hi], src[b.Lo:b.Hi])
+			}(a, b)
+			next = append(next, mapreduce.Range{Lo: a.Lo, Hi: b.Hi})
+		}
+		mwg.Wait()
+		spans = next
+		src, dst = dst, src
+	}
+	if &src[0] != &es[0] {
+		copy(es, src)
+	}
+}
+
+func mergeEdges(dst, a, b []metablocking.Edge) {
+	i, j := 0, 0
+	for k := range dst {
+		switch {
+		case i == len(a):
+			dst[k] = b[j]
+			j++
+		case j == len(b):
+			dst[k] = a[i]
+			i++
+		case edgeBefore(b[j], a[i]):
+			dst[k] = b[j]
+			j++
+		default:
+			dst[k] = a[i]
+			i++
+		}
+	}
+}
+
+// forEachPart runs fn(p) for every p in [0, nParts), distributing
+// partitions dynamically over workers goroutines.
+func forEachPart(nParts, workers int, fn func(p int)) {
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1))
+				if p >= nParts {
+					return
+				}
+				fn(p)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func concat(parts [][]metablocking.Edge) []metablocking.Edge {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]metablocking.Edge, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

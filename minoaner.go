@@ -34,6 +34,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/metablocking"
 	"repro/internal/parblock"
+	"repro/internal/parmeta"
 	"repro/internal/tokenize"
 )
 
@@ -118,9 +119,21 @@ type Config struct {
 	// clusters (default TransitiveClosure; CenterClustering or
 	// UniqueMappingClustering trade a little recall for precision).
 	Clustering Clustering
-	// Workers > 1 runs blocking and meta-blocking on the in-process
-	// MapReduce engine with that many workers (identical results).
+	// Workers sets the parallelism of the meta-blocking engine (graph
+	// build, weighting, pruning): 1 runs the sequential reference
+	// engine, n > 1 runs the shared-memory parallel engine
+	// (internal/parmeta) with n workers, and 0 — the default — uses
+	// one worker per available CPU (GOMAXPROCS), so Resolve is
+	// automatically parallel on multicore hosts. Every setting
+	// produces identical results.
 	Workers int
+	// MapReduce routes blocking and meta-blocking through the
+	// in-process MapReduce engine (internal/parblock) instead of the
+	// shared-memory one when Workers resolves to more than 1 — the
+	// paper's cluster dataflow, kept for didactic runs and
+	// cross-engine differential tests. Results are identical on every
+	// engine.
+	MapReduce bool
 }
 
 // Defaults returns the configuration used throughout the paper
@@ -310,11 +323,14 @@ func (p *Pipeline) Start() (*Session, error) {
 	if p.col.Len() == 0 {
 		return nil, fmt.Errorf("minoaner: no descriptions loaded")
 	}
+	workers := parmeta.Workers(p.cfg.Workers)
+	useMR := p.cfg.MapReduce && workers > 1
+
 	// Stage 1: blocking (+ cleaning).
 	var col *blocking.Collection
 	var err error
-	if p.cfg.Workers > 1 {
-		col, err = parblock.TokenBlocking(p.col, p.cfg.Tokenize, mapreduce.Config{Workers: p.cfg.Workers})
+	if useMR {
+		col, err = parblock.TokenBlocking(p.col, p.cfg.Tokenize, mapreduce.Config{Workers: workers})
 		if err != nil {
 			return nil, fmt.Errorf("minoaner: parallel blocking: %w", err)
 		}
@@ -330,26 +346,29 @@ func (p *Pipeline) Start() (*Session, error) {
 
 	// Stage 2: meta-blocking.
 	var graph *metablocking.Graph
-	if p.cfg.Workers > 1 {
-		graph, err = parblock.Graph(col, p.cfg.Scheme, mapreduce.Config{Workers: p.cfg.Workers})
+	if useMR {
+		graph, err = parblock.Graph(col, p.cfg.Scheme, mapreduce.Config{Workers: workers})
 		if err != nil {
 			return nil, fmt.Errorf("minoaner: parallel meta-blocking: %w", err)
 		}
 	} else {
-		graph = metablocking.Build(col, p.cfg.Scheme)
+		graph = parmeta.Build(col, p.cfg.Scheme, workers)
 	}
 	pruneOpts := metablocking.PruneOptions{
 		Reciprocal:  p.cfg.Reciprocal,
 		Assignments: col.Assignments(),
 	}
 	var edges []metablocking.Edge
-	if p.cfg.Workers > 1 && (p.cfg.Pruning == WNP || p.cfg.Pruning == CNP) {
-		edges, err = parblock.PruneNodeCentric(graph, p.cfg.Pruning, pruneOpts, mapreduce.Config{Workers: p.cfg.Workers})
+	switch {
+	case useMR && (p.cfg.Pruning == WNP || p.cfg.Pruning == CNP):
+		edges, err = parblock.PruneNodeCentric(graph, p.cfg.Pruning, pruneOpts, mapreduce.Config{Workers: workers})
 		if err != nil {
 			return nil, fmt.Errorf("minoaner: parallel pruning: %w", err)
 		}
-	} else {
+	case useMR:
 		edges = graph.Prune(p.cfg.Pruning, pruneOpts)
+	default:
+		edges = parmeta.Prune(graph, p.cfg.Pruning, pruneOpts, workers)
 	}
 
 	// Stages 3–5 are deferred to Resume.
