@@ -22,6 +22,7 @@ import (
 	"repro/internal/metablocking"
 	"repro/internal/parblock"
 	"repro/internal/parmeta"
+	"repro/internal/pipeline"
 	"repro/internal/rdf"
 	"repro/internal/tokenize"
 )
@@ -185,6 +186,72 @@ func BenchmarkParMetaPrune(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				parmeta.Prune(g, metablocking.WNP, opts, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkFrontEndBlocking sweeps tokenize + token blocking across
+// the engine layer's worker counts (workers=1 is the sequential
+// reference engine). Each sub-benchmark gets its own world so no
+// engine inherits another's warm token cache; after the first
+// iteration the cache is warm, as in a real pipeline run.
+func BenchmarkFrontEndBlocking(b *testing.B) {
+	opts := tokenize.Default()
+	for _, workers := range []int{1, 2, 4} {
+		eng := pipeline.Select(workers, false)
+		b.Run(fmt.Sprintf("%s/workers=%d", eng.Name(), workers), func(b *testing.B) {
+			w := benchWorld(b, 1000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.TokenBlocking(w.Collection, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFrontEndCleaning sweeps block purging + filtering across
+// the engine layer's worker counts on one pre-built block collection.
+func BenchmarkFrontEndCleaning(b *testing.B) {
+	w := benchWorld(b, 1000)
+	col := blocking.TokenBlocking(w.Collection, tokenize.Default())
+	for _, workers := range []int{1, 2, 4} {
+		eng := pipeline.Select(workers, false)
+		b.Run(fmt.Sprintf("%s/workers=%d", eng.Name(), workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				purged, err := eng.Purge(col, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Filter(purged, 0.8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFrontEndRun drives the whole front-end — blocking,
+// cleaning, graph build, pruning — through each engine, the wall-clock
+// the engine refactor targets.
+func BenchmarkFrontEndRun(b *testing.B) {
+	opt := pipeline.Options{
+		Tokenize:    tokenize.Default(),
+		FilterRatio: 0.8,
+		Scheme:      metablocking.ECBS,
+		Pruning:     metablocking.WNP,
+	}
+	for _, workers := range []int{1, 2, 4} {
+		eng := pipeline.Select(workers, false)
+		b.Run(fmt.Sprintf("%s/workers=%d", eng.Name(), workers), func(b *testing.B) {
+			w := benchWorld(b, 1000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.Run(eng, w.Collection, opt); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -1,11 +1,12 @@
-// parallel runs meta-blocking on both parallel engines — the
-// shared-memory engine (internal/parmeta) and the in-process MapReduce
-// simulation (internal/parblock) — with an increasing worker count,
-// prints the wall-clock sweep, and verifies that every engine and
-// every worker count produces the identical pruned blocking graph: the
-// property that makes both the Hadoop realization of [4] and the
-// multicore realization safe to substitute for the sequential
-// reference.
+// parallel drives the full pipeline front-end — token blocking, block
+// cleaning, graph construction, pruning — through every engine of the
+// unified engine layer (internal/pipeline): the sequential reference,
+// the shared-memory parallel engine, and the in-process MapReduce
+// simulation, each over an increasing worker count. It prints the
+// wall-clock sweep and verifies that every engine and every worker
+// count produces the identical pruned blocking graph: the property
+// that makes both the Hadoop realization of [4] and the multicore
+// realization safe to substitute for the sequential reference.
 //
 //	go run ./examples/parallel
 package main
@@ -15,12 +16,9 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/blocking"
 	"repro/internal/datagen"
-	"repro/internal/mapreduce"
 	"repro/internal/metablocking"
-	"repro/internal/parblock"
-	"repro/internal/parmeta"
+	"repro/internal/pipeline"
 	"repro/internal/tokenize"
 )
 
@@ -31,60 +29,72 @@ func main() {
 	}
 	fmt.Printf("workload: %s\n\n", world.Collection.Stats())
 
+	opt := pipeline.Options{
+		Tokenize:    tokenize.Default(),
+		FilterRatio: 0.8,
+		Scheme:      metablocking.ECBS,
+		Pruning:     metablocking.WNP,
+	}
+
+	// Warm the shared token cache once, outside any timed run:
+	// whichever engine ran first would otherwise pay tokenization for
+	// everyone after it, skewing the sweep. The timings below compare
+	// the engines' index building, cleaning, graph, and pruning work.
+	world.Collection.WarmTokens(opt.Tokenize, 4)
+
 	var refSet bool
-	var refEdges int
+	var refBlocks, refEdges int
 	var refWeight float64
-	check := func(engine string, workers int, kept []metablocking.Edge, wall time.Duration) {
+	check := func(engine string, workers int, fe *pipeline.FrontEnd, wall time.Duration) {
 		sum := 0.0
-		for _, e := range kept {
+		for _, e := range fe.Edges {
 			sum += e.Weight
 		}
-		fmt.Printf("%-14s  %-8d  %-10s  %-8d  %-10.1f\n",
-			engine, workers, wall.Round(time.Millisecond), len(kept), sum)
+		fmt.Printf("%-12s  %-8d  %-10s  %-8d  %-8d  %-10.1f\n",
+			engine, workers, wall.Round(time.Millisecond),
+			fe.Blocks.NumBlocks(), len(fe.Edges), sum)
 		if !refSet {
-			refSet, refEdges, refWeight = true, len(kept), sum
+			refSet = true
+			refBlocks, refEdges, refWeight = fe.Blocks.NumBlocks(), len(fe.Edges), sum
 			return
 		}
-		if len(kept) != refEdges || abs(sum-refWeight) > 1e-6 {
-			log.Fatalf("%s with %d workers changed the result: %d edges (Σ %.3f) vs %d (Σ %.3f)",
-				engine, workers, len(kept), sum, refEdges, refWeight)
+		if fe.Blocks.NumBlocks() != refBlocks || len(fe.Edges) != refEdges || abs(sum-refWeight) > 1e-6 {
+			log.Fatalf("%s with %d workers changed the result: %d blocks, %d edges (Σ %.3f) vs %d, %d (Σ %.3f)",
+				engine, workers, fe.Blocks.NumBlocks(), len(fe.Edges), sum,
+				refBlocks, refEdges, refWeight)
 		}
 	}
 
-	fmt.Printf("%-14s  %-8s  %-10s  %-8s  %-10s\n", "engine", "workers", "wall", "edges", "Σweight")
+	fmt.Printf("%-12s  %-8s  %-10s  %-8s  %-8s  %-10s\n",
+		"engine", "workers", "wall", "blocks", "edges", "Σweight")
 
-	// Shared-memory engine: sequential blocking feeds the concurrent
-	// graph builder and pruner directly — no serialization, no shuffle.
-	col := blocking.TokenBlocking(world.Collection, tokenize.Default())
-	for _, workers := range []int{1, 2, 4, 8} {
+	run := func(eng pipeline.Engine, workers int) {
 		start := time.Now()
-		graph := parmeta.Build(col, metablocking.ECBS, workers)
-		kept := parmeta.Prune(graph, metablocking.WNP, metablocking.PruneOptions{}, workers)
-		check("shared-memory", workers, kept, time.Since(start))
+		fe, err := pipeline.Run(eng, world.Collection, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		check(eng.Name(), workers, fe, time.Since(start))
+	}
+
+	// The sequential reference first: the oracle the parallel engines
+	// must reproduce bit for bit.
+	run(pipeline.Sequential{}, 1)
+
+	// Shared-memory engine: sharded blocking and cleaning feed the
+	// concurrent graph builder and pruner — no serialization, no
+	// shuffle.
+	for _, workers := range []int{2, 4, 8} {
+		run(pipeline.Shared{Workers: workers}, workers)
 	}
 
 	// MapReduce simulation: the same dataflow a Hadoop cluster would
 	// run, including blocking as a map/reduce pass.
-	for _, workers := range []int{1, 2, 4, 8} {
-		cfg := mapreduce.Config{Workers: workers}
-		start := time.Now()
-		mrCol, err := parblock.TokenBlocking(world.Collection, tokenize.Default(), cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		graph, err := parblock.Graph(mrCol, metablocking.ECBS, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		kept, err := parblock.PruneNodeCentric(graph, metablocking.WNP,
-			metablocking.PruneOptions{}, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		check("mapreduce", workers, kept, time.Since(start))
+	for _, workers := range []int{2, 4, 8} {
+		run(pipeline.MapReduce{Workers: workers}, workers)
 	}
 
-	fmt.Println("\nboth engines, all worker counts: identical pruned graph")
+	fmt.Println("\nevery engine, every worker count: identical pruned graph")
 }
 
 func abs(x float64) float64 {

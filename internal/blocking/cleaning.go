@@ -34,30 +34,69 @@ func (col *Collection) Purge(maxSize int) *Collection {
 // co-occurs with its duplicates in smaller, rarer-key blocks too, the
 // rationale of block purging in Papadakis et al.).
 func (col *Collection) AutoPurgeSize() int {
-	if len(col.Blocks) == 0 {
+	hist := make(map[int]int)
+	for i := range col.Blocks {
+		hist[col.Blocks[i].Size()]++
+	}
+	return AutoPurgeSizeFromHistogram(hist)
+}
+
+// AutoPurgeSizeFromHistogram computes AutoPurgeSize from a block-size
+// histogram (size → number of blocks of that size). Split out so
+// parallel engines can merge per-shard histograms and still pick
+// exactly the sequential cap: every quantity involved is an integer
+// far below 2⁵³, so the float arithmetic is exact in any summation
+// order.
+func AutoPurgeSizeFromHistogram(hist map[int]int) int {
+	if len(hist) == 0 {
 		return 0
 	}
 	const coverage = 0.90
-	assignBySize := make(map[int]float64)
 	total := 0.0
-	for i := range col.Blocks {
-		n := col.Blocks[i].Size()
-		assignBySize[n] += float64(n)
-		total += float64(n)
-	}
-	sizes := make([]int, 0, len(assignBySize))
-	for n := range assignBySize {
+	sizes := make([]int, 0, len(hist))
+	for n, cnt := range hist {
 		sizes = append(sizes, n)
+		total += float64(n) * float64(cnt)
 	}
 	sort.Ints(sizes)
 	cum := 0.0
 	for _, n := range sizes {
-		cum += assignBySize[n]
+		cum += float64(n) * float64(hist[n])
 		if cum >= coverage*total {
 			return n
 		}
 	}
 	return sizes[len(sizes)-1]
+}
+
+// SizeRanks ranks the blocks by size, ties broken by block index: the
+// returned slice maps each block index to its rank, a permutation of
+// [0, len(Blocks)). Block filtering keeps each entity's smallest-rank
+// blocks; the rank order is total, so every engine — sequential or
+// sharded — selects the same blocks.
+func (col *Collection) SizeRanks() []int {
+	order := make([]int, len(col.Blocks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := col.Blocks[order[a]].Size(), col.Blocks[order[b]].Size()
+		if sa != sb {
+			return sa < sb
+		}
+		return order[a] < order[b]
+	})
+	rank := make([]int, len(col.Blocks))
+	for r, bi := range order {
+		rank[bi] = r
+	}
+	return rank
+}
+
+// FilterLimit returns how many of an entity's n blocks block filtering
+// retains: ⌈ratio·n⌉.
+func FilterLimit(ratio float64, n int) int {
+	return int(math.Ceil(ratio * float64(n)))
 }
 
 // Filter applies block filtering: each description is retained only in
@@ -72,22 +111,7 @@ func (col *Collection) Filter(ratio float64) *Collection {
 	if ratio <= 0 || ratio > 1 {
 		ratio = 0.8
 	}
-	// Rank blocks by size (ties by index for determinism).
-	order := make([]int, len(col.Blocks))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		sa, sb := col.Blocks[order[a]].Size(), col.Blocks[order[b]].Size()
-		if sa != sb {
-			return sa < sb
-		}
-		return order[a] < order[b]
-	})
-	rank := make([]int, len(col.Blocks))
-	for r, bi := range order {
-		rank[bi] = r
-	}
+	rank := col.SizeRanks()
 
 	// For each entity, keep the blocks with the smallest ranks.
 	idx := col.EntityIndex()
@@ -96,7 +120,7 @@ func (col *Collection) Filter(ratio float64) *Collection {
 		if len(blocks) == 0 {
 			continue
 		}
-		limit := int(math.Ceil(ratio * float64(len(blocks))))
+		limit := FilterLimit(ratio, len(blocks))
 		bs := append([]int32(nil), blocks...)
 		sort.Slice(bs, func(a, b int) bool { return rank[bs[a]] < rank[bs[b]] })
 		keep[e] = make(map[int]struct{}, limit)

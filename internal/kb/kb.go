@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/rdf"
 	"repro/internal/tokenize"
@@ -168,6 +169,48 @@ func (c *Collection) Tokens(id int, opts tokenize.Options) []string {
 		c.tokens[id] = toks
 	}
 	return c.tokens[id]
+}
+
+// WarmTokens fills the whole token cache for opts with the given
+// parallelism and returns it as an id-indexed slice. Tokens itself
+// fills the cache lazily per id, which is unsafe under concurrent
+// callers; WarmTokens resets the cache single-threaded, then lets each
+// worker tokenize a disjoint id range — after it returns, concurrent
+// Tokens calls with the same opts are read-only and race-free. The
+// parallel blocking engine primes the cache with it before sharding.
+func (c *Collection) WarmTokens(opts tokenize.Options, workers int) [][]string {
+	if workers < 1 {
+		workers = 1
+	}
+	if !c.hasToken || c.tokOpts != opts {
+		c.tokens = make([][]string, len(c.descs))
+		c.tokOpts = opts
+		c.hasToken = true
+	}
+	n := len(c.descs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for id := lo; id < hi; id++ {
+				if c.tokens[id] != nil {
+					continue
+				}
+				toks := c.descs[id].Tokens(opts)
+				if toks == nil {
+					toks = []string{}
+				}
+				c.tokens[id] = toks
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return c.tokens
 }
 
 // Neighbors returns the ids of descriptions linked from id. Links whose

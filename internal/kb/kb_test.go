@@ -317,3 +317,47 @@ func TestLoadQuads(t *testing.T) {
 		t.Error("malformed quads accepted")
 	}
 }
+
+func TestWarmTokens(t *testing.T) {
+	c := loadSample(t)
+	opts := tokenize.Default()
+	// The warmed cache must hold exactly what lazy Tokens computes.
+	var want [][]string
+	for id := 0; id < c.Len(); id++ {
+		want = append(want, c.descs[id].Tokens(opts))
+	}
+	got := c.WarmTokens(opts, 4)
+	if len(got) != c.Len() {
+		t.Fatalf("WarmTokens returned %d rows, want %d", len(got), c.Len())
+	}
+	for id := range want {
+		if len(want[id]) == 0 && len(got[id]) == 0 {
+			continue // lazy nil vs warmed empty slice both mean "no tokens"
+		}
+		if !reflect.DeepEqual(got[id], want[id]) {
+			t.Errorf("id %d: warmed tokens %v, want %v", id, got[id], want[id])
+		}
+	}
+	// After warming, concurrent Tokens reads are cache hits — race-free
+	// under -race by construction.
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for id := 0; id < c.Len(); id++ {
+				c.Tokens(id, opts)
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	// Changing options invalidates and rewarms.
+	plain := tokenize.Options{MinLength: 1}
+	rewarmed := c.WarmTokens(plain, 2)
+	for id := 0; id < c.Len(); id++ {
+		if !reflect.DeepEqual(rewarmed[id], c.Tokens(id, plain)) {
+			t.Errorf("id %d: rewarmed tokens diverge from Tokens", id)
+		}
+	}
+}

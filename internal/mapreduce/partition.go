@@ -1,6 +1,10 @@
 package mapreduce
 
-import "hash/fnv"
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
 
 // Partition assigns a shuffle key to one of n partitions by FNV-1a
 // hash — the engine's default partitioner, exported so other parallel
@@ -19,6 +23,43 @@ type Range struct {
 
 // Len returns the number of indices in the range.
 func (r Range) Len() int { return r.Hi - r.Lo }
+
+// ForEach runs fn(i) for every i in [0, n), distributing indices
+// dynamically over workers goroutines (a shared atomic counter hands
+// out the next index). Use it when per-index cost is uneven — skewed
+// partitions, merge trees — and static Ranges sharding would leave
+// workers idle. fn must be safe to call concurrently for distinct i.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // Ranges splits [0, n) into at most parts contiguous, near-equal
 // ranges, omitting empty ones. Contiguity is what makes range sharding

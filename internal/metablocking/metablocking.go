@@ -86,16 +86,31 @@ type Graph struct {
 	nBlock int       // total number of blocks
 }
 
+// edgeStat is one distinct pair's aggregated evidence during graph
+// construction: endpoints (a < b), common-block count, and the ARCS
+// numerator. Flat records indexed through a compact key map keep the
+// accumulation allocation-free per occurrence — the pointer-heavy
+// map[Pair]*stat variant cost ~2× in both time and bytes.
+type edgeStat struct {
+	a, b   int32
+	common int32
+	arcs   float64
+}
+
+// edgeKey packs a canonical pair (a < b) into one map key.
+func edgeKey(a, b int32) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
 // Build constructs the blocking graph and computes edge weights under
-// the given scheme.
+// the given scheme. Evidence is folded in block order, one occurrence
+// at a time — the float accumulation order every parallel builder must
+// replay to stay bit-identical.
 func Build(col *blocking.Collection, scheme Scheme) *Graph {
 	g := &Graph{NumNodes: col.Source.Len(), nBlock: col.NumBlocks()}
 	g.blocks = make([]int32, g.NumNodes)
-	type stat struct {
-		common int
-		arcs   float64
-	}
-	stats := make(map[blocking.Pair]*stat)
+	idx := make(map[uint64]int32)
+	var recs []edgeStat
 	for i := range col.Blocks {
 		b := &col.Blocks[i]
 		cmp := b.Comparisons(col.Source, col.CleanClean)
@@ -112,38 +127,38 @@ func Build(col *blocking.Collection, scheme Scheme) *Graph {
 				if col.CleanClean && !col.Source.CrossKB(a, bb) {
 					continue
 				}
-				p := blocking.MakePair(a, bb)
-				s := stats[p]
-				if s == nil {
-					s = &stat{}
-					stats[p] = s
+				if a > bb {
+					a, bb = bb, a
 				}
-				s.common++
-				s.arcs += inv
+				key := edgeKey(int32(a), int32(bb))
+				j, ok := idx[key]
+				if !ok {
+					j = int32(len(recs))
+					idx[key] = j
+					recs = append(recs, edgeStat{a: int32(a), b: int32(bb)})
+				}
+				recs[j].common++
+				recs[j].arcs += inv
 			}
 		}
 	}
-	g.Edges = make([]Edge, 0, len(stats))
-	g.common = make([]int, 0, len(stats))
-	g.arcs = make([]float64, 0, len(stats))
-	pairs := make([]blocking.Pair, 0, len(stats))
-	for p := range stats {
-		pairs = append(pairs, p)
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].A != pairs[j].A {
-			return pairs[i].A < pairs[j].A
+	sort.Slice(recs, func(x, y int) bool {
+		if recs[x].a != recs[y].a {
+			return recs[x].a < recs[y].a
 		}
-		return pairs[i].B < pairs[j].B
+		return recs[x].b < recs[y].b
 	})
+	g.Edges = make([]Edge, len(recs))
+	g.common = make([]int, len(recs))
+	g.arcs = make([]float64, len(recs))
 	g.degree = make([]int32, g.NumNodes)
-	for _, p := range pairs {
-		s := stats[p]
-		g.Edges = append(g.Edges, Edge{A: p.A, B: p.B})
-		g.common = append(g.common, s.common)
-		g.arcs = append(g.arcs, s.arcs)
-		g.degree[p.A]++
-		g.degree[p.B]++
+	for i := range recs {
+		r := &recs[i]
+		g.Edges[i] = Edge{A: int(r.a), B: int(r.b)}
+		g.common[i] = int(r.common)
+		g.arcs[i] = r.arcs
+		g.degree[r.a]++
+		g.degree[r.b]++
 	}
 	g.reweigh(scheme)
 	return g

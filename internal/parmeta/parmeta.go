@@ -69,11 +69,48 @@ type record struct {
 	arcs   float64
 }
 
+// buildChunkComparisons bounds how many pair occurrences a single
+// map→merge round may buffer. Build streams the block range through
+// rounds of at most this many comparisons, folding each round into
+// persistent per-partition edge records, so peak memory is
+// O(distinct edges + chunk) instead of O(comparisons) — the difference
+// between the two is the whole point of meta-blocking, and on >10M-edge
+// workloads the occurrence buffer used to dwarf the graph itself. A
+// var, not a const, so tests can force many tiny rounds.
+var buildChunkComparisons = 1 << 16
+
+// chunkByComparisons cuts [0, len(cmps)) into contiguous block ranges
+// each inducing at most budget comparisons (single blocks above the
+// budget get a round of their own).
+func chunkByComparisons(cmps []int, budget int) []mapreduce.Range {
+	var out []mapreduce.Range
+	lo, load := 0, 0
+	for bi, c := range cmps {
+		if bi > lo && load+c > budget {
+			out = append(out, mapreduce.Range{Lo: lo, Hi: bi})
+			lo, load = bi, 0
+		}
+		load += c
+	}
+	if lo < len(cmps) {
+		out = append(out, mapreduce.Range{Lo: lo, Hi: len(cmps)})
+	}
+	return out
+}
+
 // Build constructs the blocking graph concurrently and computes edge
 // weights under the given scheme. The result is identical — including
 // float weights, bit for bit — to metablocking.Build for any worker
 // count; workers ≤ 0 means GOMAXPROCS and 1 falls through to the
 // sequential builder.
+//
+// The block range is processed in rounds (see buildChunkComparisons):
+// each round's map phase deals its occurrences to entity-range
+// partitions, and the merge phase folds them — shards in ascending
+// order, occurrences one at a time — into per-partition flat records.
+// Rounds and shards are both contiguous ascending block ranges, so
+// every edge's float evidence accumulates in exactly the global block
+// order of the sequential oracle.
 func Build(col *blocking.Collection, scheme metablocking.Scheme, workers int) *metablocking.Graph {
 	workers = Workers(workers)
 	if workers == 1 || len(col.Blocks) == 0 {
@@ -82,71 +119,107 @@ func Build(col *blocking.Collection, scheme metablocking.Scheme, workers int) *m
 	numNodes := col.Source.Len()
 	nParts := workers * partsPerWorker
 
-	// Map: contiguous block shards. Each worker walks its blocks in
-	// order and deals every pair occurrence to the entity-range
-	// partition of the smaller endpoint.
-	shards := mapreduce.Ranges(len(col.Blocks), workers)
-	emits := make([][][]occurrence, len(shards))
-	var wg sync.WaitGroup
-	for s, r := range shards {
-		wg.Add(1)
-		go func(s int, r mapreduce.Range) {
-			defer wg.Done()
-			parts := make([][]occurrence, nParts)
+	// Per-block comparison counts, computed once in parallel: they
+	// drive both the round planning and the map loops.
+	cmps := make([]int, len(col.Blocks))
+	var cwg sync.WaitGroup
+	for _, r := range mapreduce.Ranges(len(col.Blocks), workers) {
+		cwg.Add(1)
+		go func(r mapreduce.Range) {
+			defer cwg.Done()
 			for bi := r.Lo; bi < r.Hi; bi++ {
-				b := &col.Blocks[bi]
-				cmp := b.Comparisons(col.Source, col.CleanClean)
-				if cmp == 0 {
-					continue
+				cmps[bi] = col.Blocks[bi].Comparisons(col.Source, col.CleanClean)
+			}
+		}(r)
+	}
+	cwg.Wait()
+
+	// Persistent per-partition accumulators, and per-(shard, partition)
+	// occurrence buffers reused across rounds.
+	accIdx := make([]map[uint64]int32, nParts)
+	for p := range accIdx {
+		accIdx[p] = make(map[uint64]int32)
+	}
+	accRecs := make([][]record, nParts)
+	emits := make([][][]occurrence, workers)
+	for s := range emits {
+		emits[s] = make([][]occurrence, nParts)
+	}
+
+	for _, round := range chunkByComparisons(cmps, buildChunkComparisons) {
+		// Map: contiguous block shards within the round. Each worker
+		// walks its blocks in order and deals every pair occurrence to
+		// the entity-range partition of the smaller endpoint.
+		shards := mapreduce.Ranges(round.Len(), workers)
+		var wg sync.WaitGroup
+		for s, sr := range shards {
+			wg.Add(1)
+			go func(s int, r mapreduce.Range) {
+				defer wg.Done()
+				parts := emits[s]
+				for p := range parts {
+					parts[p] = parts[p][:0]
 				}
-				inv := 1 / float64(cmp)
-				ents := b.Entities
-				for x := 0; x < len(ents); x++ {
-					for y := x + 1; y < len(ents); y++ {
-						a, bb := ents[x], ents[y]
-						if col.CleanClean && !col.Source.CrossKB(a, bb) {
-							continue
+				for bi := round.Lo + r.Lo; bi < round.Lo+r.Hi; bi++ {
+					if cmps[bi] == 0 {
+						continue
+					}
+					inv := 1 / float64(cmps[bi])
+					ents := col.Blocks[bi].Entities
+					for x := 0; x < len(ents); x++ {
+						for y := x + 1; y < len(ents); y++ {
+							a, bb := ents[x], ents[y]
+							if col.CleanClean && !col.Source.CrossKB(a, bb) {
+								continue
+							}
+							if a > bb {
+								a, bb = bb, a
+							}
+							p := a * nParts / numNodes
+							parts[p] = append(parts[p], occurrence{a: int32(a), b: int32(bb), inv: inv})
 						}
-						if a > bb {
-							a, bb = bb, a
-						}
-						p := a * nParts / numNodes
-						parts[p] = append(parts[p], occurrence{a: int32(a), b: int32(bb), inv: inv})
 					}
 				}
-			}
-			emits[s] = parts
-		}(s, r)
-	}
-	wg.Wait()
-
-	// Merge: each partition is owned by exactly one goroutine (claimed
-	// off a shared counter), visiting shards in ascending order so every
-	// edge's evidence accumulates in global block order.
-	partRecs := make([][]record, nParts)
-	forEachPart(nParts, workers, func(p int) {
-		idx := make(map[uint64]int32)
-		var recs []record
-		for s := range emits {
-			for _, o := range emits[s][p] {
-				key := uint64(uint32(o.a))<<32 | uint64(uint32(o.b))
-				i, ok := idx[key]
-				if !ok {
-					i = int32(len(recs))
-					idx[key] = i
-					recs = append(recs, record{a: o.a, b: o.b})
-				}
-				recs[i].common++
-				recs[i].arcs += o.inv
-			}
+			}(s, sr)
 		}
+		wg.Wait()
+
+		// Merge: each partition is owned by exactly one goroutine
+		// (claimed off a shared counter), visiting shards in ascending
+		// order so every edge's evidence accumulates in global block
+		// order.
+		nShards := len(shards)
+		forEachPart(nParts, workers, func(p int) {
+			idx := accIdx[p]
+			recs := accRecs[p]
+			for s := 0; s < nShards; s++ {
+				for _, o := range emits[s][p] {
+					key := uint64(uint32(o.a))<<32 | uint64(uint32(o.b))
+					i, ok := idx[key]
+					if !ok {
+						i = int32(len(recs))
+						idx[key] = i
+						recs = append(recs, record{a: o.a, b: o.b})
+					}
+					recs[i].common++
+					recs[i].arcs += o.inv
+				}
+			}
+			accRecs[p] = recs
+		})
+	}
+
+	// Records accumulated in first-occurrence order; sort each
+	// partition into canonical (A, B) order once, after the last round.
+	partRecs := accRecs
+	forEachPart(nParts, workers, func(p int) {
+		recs := partRecs[p]
 		sort.Slice(recs, func(x, y int) bool {
 			if recs[x].a != recs[y].a {
 				return recs[x].a < recs[y].a
 			}
 			return recs[x].b < recs[y].b
 		})
-		partRecs[p] = recs
 	})
 
 	// Assemble: the partition function is monotone in A, so sorted
@@ -529,23 +602,7 @@ func mergeEdges(dst, a, b []metablocking.Edge) {
 // forEachPart runs fn(p) for every p in [0, nParts), distributing
 // partitions dynamically over workers goroutines.
 func forEachPart(nParts, workers int, fn func(p int)) {
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				p := int(next.Add(1))
-				if p >= nParts {
-					return
-				}
-				fn(p)
-			}
-		}()
-	}
-	wg.Wait()
+	mapreduce.ForEach(nParts, workers, fn)
 }
 
 func concat(parts [][]metablocking.Edge) []metablocking.Edge {

@@ -189,6 +189,59 @@ func TestStressDeterminism(t *testing.T) {
 	}
 }
 
+// TestChunkedBuildMatchesSequential shrinks the round budget so Build
+// streams the block range through many map→merge rounds — the
+// memory-capped path >10M-edge workloads take — and asserts the graph
+// is still bit-identical for every scheme and worker count.
+func TestChunkedBuildMatchesSequential(t *testing.T) {
+	saved := buildChunkComparisons
+	defer func() { buildChunkComparisons = saved }()
+	for _, budget := range []int{1, 7, 64, 1024} {
+		buildChunkComparisons = budget
+		for name, col := range worlds(t) {
+			for _, scheme := range []metablocking.Scheme{metablocking.ARCS, metablocking.ECBS} {
+				want := metablocking.Build(col, scheme)
+				for _, workers := range []int{2, 5} {
+					t.Run(fmt.Sprintf("budget=%d/%s/%v/workers=%d", budget, name, scheme, workers), func(t *testing.T) {
+						sameGraph(t, want, Build(col, scheme, workers))
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestChunkByComparisons checks the round planner: rounds are
+// contiguous, cover every block, and respect the budget except for
+// single oversized blocks.
+func TestChunkByComparisons(t *testing.T) {
+	cmps := []int{3, 3, 3, 10, 0, 0, 2, 5}
+	rounds := chunkByComparisons(cmps, 6)
+	lo := 0
+	for _, r := range rounds {
+		if r.Lo != lo {
+			t.Fatalf("round %+v starts at %d, want %d", r, r.Lo, lo)
+		}
+		if r.Len() <= 0 {
+			t.Fatalf("empty round %+v", r)
+		}
+		load := 0
+		for bi := r.Lo; bi < r.Hi; bi++ {
+			load += cmps[bi]
+		}
+		if load > 6 && r.Len() > 1 {
+			t.Fatalf("round %+v holds %d comparisons over budget", r, load)
+		}
+		lo = r.Hi
+	}
+	if lo != len(cmps) {
+		t.Fatalf("rounds end at %d, want %d", lo, len(cmps))
+	}
+	if rounds := chunkByComparisons(nil, 6); rounds != nil {
+		t.Fatalf("chunking no blocks returned %+v", rounds)
+	}
+}
+
 func TestWorkersOption(t *testing.T) {
 	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
 		t.Errorf("Workers(0)=%d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))

@@ -1,0 +1,56 @@
+package pipeline
+
+import (
+	"repro/internal/blocking"
+	"repro/internal/kb"
+	"repro/internal/mapreduce"
+	"repro/internal/metablocking"
+	"repro/internal/parblock"
+	"repro/internal/tokenize"
+)
+
+// MapReduce is the cluster-dataflow engine: blocking, graph
+// construction, and node-centric pruning run as in-process MapReduce
+// jobs (internal/parblock), mirroring the paper's companion Hadoop
+// realization. Stages the dataflow never defined — block cleaning and
+// edge-centric pruning — delegate to the sequential reference, exactly
+// as the original per-stage dispatch in minoaner.Start did. Kept for
+// didactic runs and cross-engine differential tests; the Shared engine
+// is the fast path on one machine.
+type MapReduce struct {
+	// Workers is the number of concurrent map/reduce tasks (> 1).
+	Workers int
+}
+
+// Name implements Engine.
+func (MapReduce) Name() string { return "mapreduce" }
+
+func (e MapReduce) cfg() mapreduce.Config { return mapreduce.Config{Workers: e.Workers} }
+
+// TokenBlocking implements Engine.
+func (e MapReduce) TokenBlocking(src *kb.Collection, opts tokenize.Options) (*blocking.Collection, error) {
+	return parblock.TokenBlocking(src, opts, e.cfg())
+}
+
+// Purge implements Engine.
+func (e MapReduce) Purge(col *blocking.Collection, maxSize int) (*blocking.Collection, error) {
+	return col.Purge(maxSize), nil
+}
+
+// Filter implements Engine.
+func (e MapReduce) Filter(col *blocking.Collection, ratio float64) (*blocking.Collection, error) {
+	return col.Filter(ratio), nil
+}
+
+// Build implements Engine.
+func (e MapReduce) Build(col *blocking.Collection, scheme metablocking.Scheme) (*metablocking.Graph, error) {
+	return parblock.Graph(col, scheme, e.cfg())
+}
+
+// Prune implements Engine.
+func (e MapReduce) Prune(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions) ([]metablocking.Edge, error) {
+	if alg == metablocking.WNP || alg == metablocking.CNP {
+		return parblock.PruneNodeCentric(g, alg, opts, e.cfg())
+	}
+	return g.Prune(alg, opts), nil
+}

@@ -1,0 +1,328 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/datagen"
+	"repro/internal/kb"
+	"repro/internal/metablocking"
+	"repro/internal/tokenize"
+)
+
+// worlds returns the differential workloads: a clean–clean two-KB
+// world and a dirty single-KB world with duplicates — the two ER
+// settings of the paper, which exercise the cross-KB comparison filter
+// and the partition skew differently.
+func worlds(t testing.TB) map[string]*kb.Collection {
+	t.Helper()
+	srcs := make(map[string]*kb.Collection)
+	for name, cfg := range map[string]datagen.Config{
+		"cleanclean": datagen.TwoKBs(2016, 220, datagen.Center(), datagen.Center()),
+		"dirty":      datagen.DirtyKB(2016, 220, 3),
+	} {
+		w, err := datagen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[name] = w.Collection
+	}
+	return srcs
+}
+
+// tokenizeCombos are the option combinations the differential tests
+// sweep: the pipeline default plus variations flipping each lever that
+// changes the token stream shape.
+func tokenizeCombos() map[string]tokenize.Options {
+	plain := tokenize.Options{MinLength: 1}
+	noCamel := tokenize.Default()
+	noCamel.SplitCamelCase = false
+	keepStops := tokenize.Default()
+	keepStops.DropStopWords = false
+	shortTokens := tokenize.Default()
+	shortTokens.MinLength = 1
+	shortTokens.MaxLength = 6
+	return map[string]tokenize.Options{
+		"default":     tokenize.Default(),
+		"plain":       plain,
+		"noCamel":     noCamel,
+		"keepStops":   keepStops,
+		"shortTokens": shortTokens,
+	}
+}
+
+var workerCounts = []int{1, 2, 4, 8}
+
+// engineFor returns the engine under test for a worker count: the
+// sequential reference at 1, the shared-memory engine above.
+func engineFor(workers int) Engine {
+	if workers == 1 {
+		return Sequential{}
+	}
+	return Shared{Workers: workers}
+}
+
+func sameCollection(t *testing.T, label string, want, got *blocking.Collection) {
+	t.Helper()
+	if got.CleanClean != want.CleanClean {
+		t.Fatalf("%s: CleanClean=%v, want %v", label, got.CleanClean, want.CleanClean)
+	}
+	if len(got.Blocks) != len(want.Blocks) {
+		t.Fatalf("%s: %d blocks, want %d", label, len(got.Blocks), len(want.Blocks))
+	}
+	for i := range want.Blocks {
+		w, g := &want.Blocks[i], &got.Blocks[i]
+		if g.Key != w.Key {
+			t.Fatalf("%s: block %d key %q, want %q", label, i, g.Key, w.Key)
+		}
+		if len(g.Entities) != len(w.Entities) {
+			t.Fatalf("%s: block %d (%q): %d entities, want %d", label, i, w.Key, len(g.Entities), len(w.Entities))
+		}
+		for j := range w.Entities {
+			if g.Entities[j] != w.Entities[j] {
+				t.Fatalf("%s: block %d (%q) entity %d = %d, want %d", label, i, w.Key, j, g.Entities[j], w.Entities[j])
+			}
+		}
+	}
+}
+
+// sameEdges compares pruned edge lists. With exact set, weights must
+// match bit for bit; otherwise endpoints must match and weights agree
+// within the relative tolerance the MapReduce engine's own
+// differential tests use.
+func sameEdges(t *testing.T, want, got []metablocking.Edge, exact bool) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d pruned edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if exact {
+			if g != w {
+				t.Fatalf("edge %d = %+v, want %+v", i, g, w)
+			}
+			continue
+		}
+		if g.A != w.A || g.B != w.B {
+			t.Fatalf("edge %d = (%d,%d), want (%d,%d)", i, g.A, g.B, w.A, w.B)
+		}
+		if math.Abs(g.Weight-w.Weight) > 1e-9*(1+math.Abs(w.Weight)) {
+			t.Fatalf("edge %d weight = %v, want %v", i, g.Weight, w.Weight)
+		}
+	}
+}
+
+// TestTokenBlockingMatchesSequential asserts that the sharded token
+// blocking produces the sequential reference's collection — same
+// blocks, same order, same entity lists — for every tokenize option
+// combination and worker count, on both ER settings.
+func TestTokenBlockingMatchesSequential(t *testing.T) {
+	for world, src := range worlds(t) {
+		for optName, opts := range tokenizeCombos() {
+			want := blocking.TokenBlocking(src, opts)
+			for _, workers := range workerCounts {
+				label := fmt.Sprintf("%s/%s/workers=%d", world, optName, workers)
+				t.Run(label, func(t *testing.T) {
+					got, err := engineFor(workers).TokenBlocking(src, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameCollection(t, label, want, got)
+				})
+			}
+		}
+	}
+}
+
+// TestCleaningMatchesSequential runs block purging (automatic and
+// explicit caps) and block filtering (several ratios) through the
+// shared engine and compares against the sequential reference, for
+// every worker count.
+func TestCleaningMatchesSequential(t *testing.T) {
+	for world, src := range worlds(t) {
+		raw := blocking.TokenBlocking(src, tokenize.Default())
+		for _, maxSize := range []int{0, 3, 25} {
+			want := raw.Purge(maxSize)
+			for _, workers := range workerCounts {
+				label := fmt.Sprintf("%s/purge=%d/workers=%d", world, maxSize, workers)
+				t.Run(label, func(t *testing.T) {
+					got, err := engineFor(workers).Purge(raw, maxSize)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameCollection(t, label, want, got)
+				})
+			}
+		}
+		purged := raw.Purge(0)
+		for _, ratio := range []float64{0.5, 0.8, 1.0} {
+			want := purged.Filter(ratio)
+			for _, workers := range workerCounts {
+				label := fmt.Sprintf("%s/filter=%.1f/workers=%d", world, ratio, workers)
+				t.Run(label, func(t *testing.T) {
+					got, err := engineFor(workers).Filter(purged, ratio)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameCollection(t, label, want, got)
+				})
+			}
+		}
+	}
+}
+
+// TestRunMatchesSequential drives the full front-end — blocking,
+// cleaning, graph build, pruning — through every engine and asserts
+// bit-identical outputs end to end: the cleaned collection and the
+// pruned edge list, float weights included.
+func TestRunMatchesSequential(t *testing.T) {
+	for world, src := range worlds(t) {
+		for _, cse := range []struct {
+			scheme  metablocking.Scheme
+			pruning metablocking.Pruning
+		}{
+			{metablocking.ECBS, metablocking.WNP},
+			{metablocking.ARCS, metablocking.CEP},
+			{metablocking.JS, metablocking.CNP},
+			{metablocking.CBS, metablocking.WEP},
+		} {
+			opt := Options{
+				Tokenize:    tokenize.Default(),
+				FilterRatio: 0.8,
+				Scheme:      cse.scheme,
+				Pruning:     cse.pruning,
+			}
+			want, err := Run(Sequential{}, src, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engines := []Engine{
+				Shared{Workers: 2},
+				Shared{Workers: 4},
+				Shared{Workers: 8},
+				MapReduce{Workers: 4},
+			}
+			for _, eng := range engines {
+				label := fmt.Sprintf("%s/%v/%v/%s", world, cse.scheme, cse.pruning, eng.Name())
+				if sh, ok := eng.(Shared); ok {
+					label = fmt.Sprintf("%s-%d", label, sh.Workers)
+				}
+				// The shared-memory engine is bit-identical; the
+				// MapReduce engine re-serializes and re-sums float
+				// evidence in shuffle order, so its weights agree only
+				// within round-off (the tolerance its own differential
+				// tests use).
+				_, exact := eng.(Shared)
+				t.Run(label, func(t *testing.T) {
+					got, err := Run(eng, src, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameCollection(t, label, want.Blocks, got.Blocks)
+					sameEdges(t, want.Edges, got.Edges, exact)
+				})
+			}
+		}
+	}
+}
+
+// TestRunSkipsOptionalStages checks the purge/filter gating: negative
+// PurgeMaxBlockSize skips purging, non-positive FilterRatio skips
+// filtering — on every engine, identically.
+func TestRunSkipsOptionalStages(t *testing.T) {
+	src := worlds(t)["cleanclean"]
+	opt := Options{
+		Tokenize:          tokenize.Default(),
+		PurgeMaxBlockSize: -1,
+		FilterRatio:       -1,
+		Scheme:            metablocking.ECBS,
+		Pruning:           metablocking.WNP,
+	}
+	want := blocking.TokenBlocking(src, opt.Tokenize)
+	for _, eng := range []Engine{Sequential{}, Shared{Workers: 4}, MapReduce{Workers: 2}} {
+		fe, err := Run(eng, src, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameCollection(t, eng.Name(), want, fe.Blocks)
+	}
+}
+
+// TestSelect checks the Config → engine mapping.
+func TestSelect(t *testing.T) {
+	if got := Select(1, false).Name(); got != "sequential" {
+		t.Errorf("Select(1, false) = %s, want sequential", got)
+	}
+	if got := Select(1, true).Name(); got != "sequential" {
+		t.Errorf("Select(1, true) = %s, want sequential (MapReduce needs >1 workers)", got)
+	}
+	if got := Select(4, false).Name(); got != "shared" {
+		t.Errorf("Select(4, false) = %s, want shared", got)
+	}
+	if got := Select(4, true).Name(); got != "mapreduce" {
+		t.Errorf("Select(4, true) = %s, want mapreduce", got)
+	}
+	if eng, ok := Select(0, false).(Shared); ok {
+		if eng.Workers < 1 {
+			t.Errorf("Select(0, false) resolved %d workers", eng.Workers)
+		}
+	}
+}
+
+// TestEmptyAndDegenerate covers empty sources and collections with no
+// blocks on the shared engine.
+func TestEmptyAndDegenerate(t *testing.T) {
+	eng := Shared{Workers: 4}
+	empty := kb.NewCollection()
+	col, err := eng.TokenBlocking(empty, tokenize.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.NumBlocks() != 0 {
+		t.Fatalf("empty source produced %d blocks", col.NumBlocks())
+	}
+	if col, err = eng.Purge(col, 0); err != nil || col.NumBlocks() != 0 {
+		t.Fatalf("purge of empty collection: blocks=%d err=%v", col.NumBlocks(), err)
+	}
+	if col, err = eng.Filter(col, 0.8); err != nil || col.NumBlocks() != 0 {
+		t.Fatalf("filter of empty collection: blocks=%d err=%v", col.NumBlocks(), err)
+	}
+}
+
+// TestStressDeterminism reruns the shared front-end with an
+// oversubscribed worker count; under -race this is the concurrency
+// stress, and every repetition must reproduce the reference bits.
+func TestStressDeterminism(t *testing.T) {
+	src := worlds(t)["dirty"]
+	opt := Options{
+		Tokenize:    tokenize.Default(),
+		FilterRatio: 0.8,
+		Scheme:      metablocking.EJS,
+		Pruning:     metablocking.CNP,
+	}
+	want, err := Run(Sequential{}, src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := 6
+	if testing.Short() {
+		reps = 2
+	}
+	for rep := 0; rep < reps; rep++ {
+		got, err := Run(Shared{Workers: 7}, src, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameCollection(t, fmt.Sprintf("rep %d", rep), want.Blocks, got.Blocks)
+		if len(got.Edges) != len(want.Edges) {
+			t.Fatalf("rep %d: %d edges, want %d", rep, len(got.Edges), len(want.Edges))
+		}
+		for i := range want.Edges {
+			if got.Edges[i] != want.Edges[i] {
+				t.Fatalf("rep %d: edge %d = %+v, want %+v", rep, i, got.Edges[i], want.Edges[i])
+			}
+		}
+	}
+}

@@ -26,15 +26,12 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/blocking"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/kb"
-	"repro/internal/mapreduce"
 	"repro/internal/match"
 	"repro/internal/metablocking"
-	"repro/internal/parblock"
-	"repro/internal/parmeta"
+	"repro/internal/pipeline"
 	"repro/internal/tokenize"
 )
 
@@ -119,16 +116,17 @@ type Config struct {
 	// clusters (default TransitiveClosure; CenterClustering or
 	// UniqueMappingClustering trade a little recall for precision).
 	Clustering Clustering
-	// Workers sets the parallelism of the meta-blocking engine (graph
-	// build, weighting, pruning): 1 runs the sequential reference
-	// engine, n > 1 runs the shared-memory parallel engine
-	// (internal/parmeta) with n workers, and 0 — the default — uses
-	// one worker per available CPU (GOMAXPROCS), so Resolve is
+	// Workers sets the parallelism of the pipeline front-end — token
+	// blocking, block cleaning, graph build, weighting, and pruning,
+	// all dispatched through one engine (internal/pipeline): 1 runs
+	// the sequential reference engine, n > 1 runs the shared-memory
+	// parallel engine with n workers, and 0 — the default — uses one
+	// worker per available CPU (GOMAXPROCS), so Resolve is
 	// automatically parallel on multicore hosts. Every setting
 	// produces identical results.
 	Workers int
-	// MapReduce routes blocking and meta-blocking through the
-	// in-process MapReduce engine (internal/parblock) instead of the
+	// MapReduce routes the front-end stages through the in-process
+	// MapReduce engine (internal/parblock) instead of the
 	// shared-memory one when Workers resolves to more than 1 — the
 	// paper's cluster dataflow, kept for didactic runs and
 	// cross-engine differential tests. Results are identical on every
@@ -193,11 +191,15 @@ type Result struct {
 
 // SameAs serializes the confirmed matches as owl:sameAs N-Triples.
 func (r *Result) SameAs() string {
-	out := ""
+	var sb strings.Builder
 	for _, m := range r.Matches {
-		out += "<" + m.A.URI + "> <http://www.w3.org/2002/07/owl#sameAs> <" + m.B.URI + "> .\n"
+		sb.WriteString("<")
+		sb.WriteString(m.A.URI)
+		sb.WriteString("> <http://www.w3.org/2002/07/owl#sameAs> <")
+		sb.WriteString(m.B.URI)
+		sb.WriteString("> .\n")
 	}
-	return out
+	return sb.String()
 }
 
 // Pipeline accumulates knowledge bases and resolves them.
@@ -319,57 +321,30 @@ type Session struct {
 }
 
 // Start freezes the loaded KBs and prepares the comparison queue.
+//
+// Stages 1–2 (blocking, cleaning, meta-blocking) run through the
+// engine layer: pipeline.Select maps Config.Workers/Config.MapReduce
+// onto the sequential reference, the shared-memory parallel engine, or
+// the in-process MapReduce dataflow, and every stage is dispatched
+// uniformly through it. The results are bit-identical whichever engine
+// runs.
 func (p *Pipeline) Start() (*Session, error) {
 	if p.col.Len() == 0 {
 		return nil, fmt.Errorf("minoaner: no descriptions loaded")
 	}
-	workers := parmeta.Workers(p.cfg.Workers)
-	useMR := p.cfg.MapReduce && workers > 1
-
-	// Stage 1: blocking (+ cleaning).
-	var col *blocking.Collection
-	var err error
-	if useMR {
-		col, err = parblock.TokenBlocking(p.col, p.cfg.Tokenize, mapreduce.Config{Workers: workers})
-		if err != nil {
-			return nil, fmt.Errorf("minoaner: parallel blocking: %w", err)
-		}
-	} else {
-		col = blocking.TokenBlocking(p.col, p.cfg.Tokenize)
+	eng := pipeline.Select(p.cfg.Workers, p.cfg.MapReduce)
+	fe, err := pipeline.Run(eng, p.col, pipeline.Options{
+		Tokenize:          p.cfg.Tokenize,
+		PurgeMaxBlockSize: p.cfg.PurgeMaxBlockSize,
+		FilterRatio:       p.cfg.FilterRatio,
+		Scheme:            p.cfg.Scheme,
+		Pruning:           p.cfg.Pruning,
+		Reciprocal:        p.cfg.Reciprocal,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("minoaner: %w", err)
 	}
-	if p.cfg.PurgeMaxBlockSize >= 0 {
-		col = col.Purge(p.cfg.PurgeMaxBlockSize)
-	}
-	if p.cfg.FilterRatio > 0 {
-		col = col.Filter(p.cfg.FilterRatio)
-	}
-
-	// Stage 2: meta-blocking.
-	var graph *metablocking.Graph
-	if useMR {
-		graph, err = parblock.Graph(col, p.cfg.Scheme, mapreduce.Config{Workers: workers})
-		if err != nil {
-			return nil, fmt.Errorf("minoaner: parallel meta-blocking: %w", err)
-		}
-	} else {
-		graph = parmeta.Build(col, p.cfg.Scheme, workers)
-	}
-	pruneOpts := metablocking.PruneOptions{
-		Reciprocal:  p.cfg.Reciprocal,
-		Assignments: col.Assignments(),
-	}
-	var edges []metablocking.Edge
-	switch {
-	case useMR && (p.cfg.Pruning == WNP || p.cfg.Pruning == CNP):
-		edges, err = parblock.PruneNodeCentric(graph, p.cfg.Pruning, pruneOpts, mapreduce.Config{Workers: workers})
-		if err != nil {
-			return nil, fmt.Errorf("minoaner: parallel pruning: %w", err)
-		}
-	case useMR:
-		edges = graph.Prune(p.cfg.Pruning, pruneOpts)
-	default:
-		edges = parmeta.Prune(graph, p.cfg.Pruning, pruneOpts, workers)
-	}
+	col, edges := fe.Blocks, fe.Edges
 
 	// Stages 3–5 are deferred to Resume.
 	matcher := match.NewMatcher(p.col, p.cfg.Match)
