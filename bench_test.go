@@ -15,6 +15,7 @@ import (
 
 	minoaner "repro"
 	"repro/internal/blocking"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/mapreduce"
@@ -252,6 +253,45 @@ func BenchmarkFrontEndRun(b *testing.B) {
 				if _, err := pipeline.Run(eng, w.Collection, opt); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatching drives the progressive matching stage — the
+// schedule → match → update loop over the pruned comparison list —
+// sequentially (workers=1) and through the speculative-score/
+// serial-commit parallel engine. Every worker count produces a
+// bit-identical trace (differentially tested in internal/core); the
+// sub-benchmark ratio is the matching-stage speedup. The workload uses
+// token-rich descriptions (tens of tokens, like the paper's DBpedia
+// and BTC corpora) so value similarity carries its real-world share of
+// the cost.
+func BenchmarkMatching(b *testing.B) {
+	cfg := datagen.Config{
+		Seed:        benchSeed,
+		NumEntities: 800,
+		NameTokens:  12,
+		KBs: []datagen.KBConfig{
+			{Name: "alpha", Coverage: 1, Profile: datagen.Profile{
+				TokenKeep: 0.9, ExtraTokens: 28, AttrsPerEntity: 56, LinkKeep: 0.9}},
+			{Name: "betaKB", Coverage: 1, Profile: datagen.Profile{
+				TokenKeep: 0.75, ExtraTokens: 28, AttrsPerEntity: 56, LinkKeep: 0.9}},
+		},
+		LinksPerEntity: 3,
+	}
+	w, err := datagen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := blocking.TokenBlocking(w.Collection, tokenize.Default()).Purge(0).Filter(0.8)
+	g := metablocking.Build(col, metablocking.ECBS)
+	edges := g.Prune(metablocking.WNP, metablocking.PruneOptions{Assignments: col.Assignments()})
+	m := match.NewMatcher(w.Collection, match.DefaultOptions())
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.NewResolver(m, edges, core.Config{Workers: workers}).Run()
 			}
 		})
 	}

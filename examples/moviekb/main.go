@@ -18,7 +18,9 @@ func main() {
 	run(minoaner.Defaults(), "with neighbor evidence (full Minoan ER)")
 
 	ablated := minoaner.Defaults()
-	ablated.Match.NeighborWeight = 0.0001 // effectively value-only matching
+	// Defaults().Match is normalized, so a literal zero sticks:
+	// value-only matching, no neighbor evidence.
+	ablated.Match.NeighborWeight = 0
 	run(ablated, "ablation: neighbor evidence off")
 }
 

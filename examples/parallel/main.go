@@ -1,12 +1,16 @@
-// parallel drives the full pipeline front-end — token blocking, block
-// cleaning, graph construction, pruning — through every engine of the
-// unified engine layer (internal/pipeline): the sequential reference,
-// the shared-memory parallel engine, and the in-process MapReduce
-// simulation, each over an increasing worker count. It prints the
-// wall-clock sweep and verifies that every engine and every worker
-// count produces the identical pruned blocking graph: the property
-// that makes both the Hadoop realization of [4] and the multicore
-// realization safe to substitute for the sequential reference.
+// parallel drives the full pipeline — token blocking, block cleaning,
+// graph construction, pruning, and progressive matching — through
+// every parallel engine over an increasing worker count. The
+// front-end sweeps the engine layer (internal/pipeline): the
+// sequential reference, the shared-memory parallel engine, and the
+// in-process MapReduce simulation. The matching sweep then drives the
+// speculative-score/serial-commit engine (internal/core) over the
+// pruned comparisons. Both sweeps print wall clocks and verify the
+// parallel property end to end: every engine and every worker count
+// produces the identical pruned blocking graph and a bit-identical
+// progressive trace — what makes both the Hadoop realization of [4]
+// and the multicore realization safe substitutes for the sequential
+// reference.
 //
 //	go run ./examples/parallel
 package main
@@ -16,7 +20,9 @@ import (
 	"log"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/match"
 	"repro/internal/metablocking"
 	"repro/internal/pipeline"
 	"repro/internal/tokenize"
@@ -68,18 +74,20 @@ func main() {
 	fmt.Printf("%-12s  %-8s  %-10s  %-8s  %-8s  %-10s\n",
 		"engine", "workers", "wall", "blocks", "edges", "Σweight")
 
-	run := func(eng pipeline.Engine, workers int) {
+	run := func(eng pipeline.Engine, workers int) *pipeline.FrontEnd {
 		start := time.Now()
 		fe, err := pipeline.Run(eng, world.Collection, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
 		check(eng.Name(), workers, fe, time.Since(start))
+		return fe
 	}
 
 	// The sequential reference first: the oracle the parallel engines
-	// must reproduce bit for bit.
-	run(pipeline.Sequential{}, 1)
+	// must reproduce bit for bit. Its pruned graph also feeds the
+	// matching sweep below.
+	fe := run(pipeline.Sequential{}, 1)
 
 	// Shared-memory engine: sharded blocking and cleaning feed the
 	// concurrent graph builder and pruner — no serialization, no
@@ -95,6 +103,39 @@ func main() {
 	}
 
 	fmt.Println("\nevery engine, every worker count: identical pruned graph")
+
+	// Matching stage: the speculative-score/serial-commit engine over
+	// the pruned comparisons of the sequential reference run. Workers
+	// precompute TF-IDF cosines in pipelined waves; one committer
+	// replays the exact sequential schedule, so the trace must match
+	// the sequential resolver step for step, in every field.
+	matcher := match.NewMatcher(world.Collection, match.DefaultOptions())
+
+	fmt.Printf("\n%-12s  %-8s  %-10s  %-12s  %-8s  %-10s\n",
+		"matching", "workers", "wall", "comparisons", "matches", "Σgain")
+	var ref *core.Result
+	for _, workers := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		res := core.NewResolver(matcher, fe.Edges, core.Config{Workers: workers}).Run()
+		wall := time.Since(start)
+		fmt.Printf("%-12s  %-8d  %-10s  %-12d  %-8d  %-10.1f\n",
+			"speculative", workers, wall.Round(time.Millisecond),
+			res.Comparisons, res.Matches, res.TotalGain)
+		if ref == nil {
+			ref = res // workers=1 is the sequential reference loop
+			continue
+		}
+		if len(res.Trace) != len(ref.Trace) {
+			log.Fatalf("%d workers changed the trace length: %d vs %d", workers, len(res.Trace), len(ref.Trace))
+		}
+		for i := range ref.Trace {
+			if res.Trace[i] != ref.Trace[i] {
+				log.Fatalf("%d workers changed step %d: %+v vs %+v", workers, i, res.Trace[i], ref.Trace[i])
+			}
+		}
+	}
+
+	fmt.Println("\nevery worker count: bit-identical progressive trace")
 }
 
 func abs(x float64) float64 {

@@ -14,6 +14,18 @@ func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
 	return &Heap[T]{less: less}
 }
 
+// NewHeapFrom returns a heap over items, taking ownership of the
+// slice and heapifying it in place with Floyd's sift-down — O(n)
+// instead of the O(n log n) of pushing items one by one. Bulk builds
+// (the progressive scheduler seeding every pruned edge) use it.
+func NewHeapFrom[T any](less func(a, b T) bool, items []T) *Heap[T] {
+	h := &Heap[T]{items: items, less: less}
+	for i := len(items)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	return h
+}
+
 // Len returns the number of items in the heap.
 func (h *Heap[T]) Len() int { return len(h.items) }
 
@@ -51,6 +63,14 @@ func (h *Heap[T]) Pop() (T, bool) {
 	}
 	return top, true
 }
+
+// Items exposes the heap's backing slice in heap order (partially
+// sorted: every element is ≤ its parent under less-reversed order).
+// Callers must treat it as read-only and must not retain it across
+// mutations. The parallel matching engine scans a prefix of it to pick
+// speculation candidates — an approximation of the top of the heap
+// that never needs to be exact.
+func (h *Heap[T]) Items() []T { return h.items }
 
 // Reset empties the heap, retaining allocated capacity.
 func (h *Heap[T]) Reset() {

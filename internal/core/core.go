@@ -28,11 +28,39 @@ type Config struct {
 	// confirmed match). Discovery is on by default; it is what recovers
 	// somehow-similar periphery matches.
 	DisableDiscovery bool
+	// Workers sets how many goroutines speculatively precompute value
+	// similarities for upcoming comparisons (see parallel.go). 0 or 1
+	// runs the sequential reference loop; n > 1 runs the speculative-
+	// score/serial-commit engine with n scoring workers. Every setting
+	// produces a bit-identical trace.
+	Workers int
+	// Normalized marks the config as fully specified: zero numeric
+	// fields are taken literally instead of being replaced by the
+	// documented defaults. DefaultConfig returns a normalized config,
+	// so the idiomatic way to request a true zero — say BiasWeight 0
+	// for pure evidence-order scheduling — is to start from
+	// DefaultConfig and zero the field. A nil Benefit always means
+	// AttributeCompleteness.
+	Normalized bool
+}
+
+// DefaultConfig returns the documented defaults, normalized: zero a
+// field of the result to get a literal zero instead of the default.
+func DefaultConfig() Config {
+	return Config{
+		Benefit:       AttributeCompleteness{},
+		NeighborBoost: 0.4,
+		BiasWeight:    0.25,
+		Normalized:    true,
+	}
 }
 
 func (c Config) withDefaults() Config {
 	if c.Benefit == nil {
 		c.Benefit = AttributeCompleteness{}
+	}
+	if c.Normalized {
+		return c
 	}
 	if c.NeighborBoost == 0 {
 		c.NeighborBoost = 0.4
@@ -40,6 +68,7 @@ func (c Config) withDefaults() Config {
 	if c.BiasWeight == 0 {
 		c.BiasWeight = 0.25
 	}
+	c.Normalized = true
 	return c
 }
 
@@ -107,22 +136,55 @@ type Resolver struct {
 	cfg     Config
 
 	heap   *container.Heap[entry]
-	states map[blocking.Pair]*pairState
+	states map[uint64]*pairState
 	cl     *match.Clusters
 	maxW   float64
+	// spec is the speculative scoring engine, non-nil when
+	// cfg.Workers > 1 (see parallel.go). The commit path below is the
+	// same either way; spec only changes where ValueSim values come
+	// from.
+	spec *speculator
 }
 
+// entry is one heap slot: the pair's state (popping dereferences it
+// directly — no map lookup on the hot path) and its priority at push
+// time. The slot stays at 16 bytes, which matters — pops sift a slot
+// down the whole heap, and the heap holds every pruned edge plus
+// every boost reinsertion.
 type entry struct {
-	pair blocking.Pair
+	st   *pairState
 	prio float64
 }
 
+// pairKey packs a normalized pair into one word, so the scheduler's
+// update-phase map hashes and compares a single uint64 instead of a
+// two-word struct. Description ids are array indexes and fit 32 bits
+// with room to spare.
+func pairKey(p blocking.Pair) uint64 {
+	return uint64(uint32(p.A))<<32 | uint64(uint32(p.B))
+}
+
+// keyPair is the inverse of pairKey.
+func keyPair(k uint64) blocking.Pair {
+	return blocking.Pair{A: int(k >> 32), B: int(uint32(k))}
+}
+
 type pairState struct {
-	base       float64 // normalized meta-blocking weight
-	boost      float64 // accumulated neighbor-evidence priority
+	pair       blocking.Pair // immutable after construction
+	base       float64       // normalized meta-blocking weight
+	boost      float64       // accumulated neighbor-evidence priority
 	done       bool
 	discovered bool // true when blocking never proposed this pair
 	recheck    bool // re-opened by neighbor evidence after failing
+	// inflight marks the pair as handed to a speculation wave whose
+	// results are not merged back yet (parallel engine only; read and
+	// written by the committer goroutine exclusively).
+	inflight bool
+	// vsim memoizes the pair's value similarity once it has been
+	// computed, so a recheck is free. Value similarity is
+	// cluster-independent: the memo can never go stale.
+	vsim    float64
+	hasVsim bool
 }
 
 // NewResolver prepares a progressive run over the pruned comparison
@@ -133,8 +195,7 @@ func NewResolver(m *match.Matcher, edges []metablocking.Edge, cfg Config) *Resol
 	r := &Resolver{
 		matcher: m,
 		cfg:     cfg,
-		heap:    container.NewHeap(func(a, b entry) bool { return a.prio > b.prio }), // max-heap
-		states:  make(map[blocking.Pair]*pairState, len(edges)),
+		states:  make(map[uint64]*pairState, len(edges)),
 		cl:      match.NewClustersFor(m.Collection()),
 	}
 	for _, e := range edges {
@@ -145,15 +206,26 @@ func NewResolver(m *match.Matcher, edges []metablocking.Edge, cfg Config) *Resol
 	if r.maxW == 0 {
 		r.maxW = 1
 	}
+	// States come from one slab (its capacity is fixed, so the interior
+	// pointers stay valid) and the heap is built with one O(n) heapify
+	// instead of n pushes.
+	slab := make([]pairState, len(edges))
+	used := 0
+	entries := make([]entry, 0, len(edges))
 	for _, e := range edges {
 		p := blocking.MakePair(e.A, e.B)
-		if _, dup := r.states[p]; dup {
+		k := pairKey(p)
+		if _, dup := r.states[k]; dup {
 			continue
 		}
-		st := &pairState{base: e.Weight / r.maxW}
-		r.states[p] = st
-		r.heap.Push(entry{pair: p, prio: r.priority(p, st)})
+		st := &slab[used]
+		used++
+		st.pair = p
+		st.base = e.Weight / r.maxW
+		r.states[k] = st
+		entries = append(entries, entry{st: st, prio: r.priority(p, st)})
 	}
+	r.heap = container.NewHeapFrom(func(a, b entry) bool { return a.prio > b.prio }, entries) // max-heap
 	return r
 }
 
@@ -180,8 +252,18 @@ func (r *Resolver) Run() *Result { return r.RunBudget(r.cfg.Budget) }
 // RunBudget is Run with a per-call budget override (0 = unlimited),
 // for resumable sessions whose legs have different budgets.
 func (r *Resolver) RunBudget(budget int) *Result {
+	if r.spec == nil && r.cfg.Workers > 1 {
+		r.spec = newSpeculator(r, r.cfg.Workers)
+	}
 	res := &Result{Clusters: r.cl}
 	for budget == 0 || res.Comparisons < budget {
+		if r.spec != nil {
+			remaining := 0
+			if budget > 0 {
+				remaining = budget - res.Comparisons
+			}
+			r.spec.prepare(remaining)
+		}
 		step, ok := r.next()
 		if !ok {
 			break
@@ -209,30 +291,33 @@ func (r *Resolver) next() (Step, bool) {
 		if !ok {
 			return Step{}, false
 		}
-		st := r.states[e.pair]
-		if st == nil || st.done {
+		st := e.st
+		if st.done {
 			continue // stale entry
 		}
+		p := st.pair
 		// Lazy revalidation: priorities drift as the state evolves; if
 		// this entry is stale-high, reinsert at its current priority.
-		cur := r.priority(e.pair, st)
+		cur := r.priority(p, st)
 		if cur < e.prio-1e-9 {
-			r.heap.Push(entry{pair: e.pair, prio: cur})
+			r.heap.Push(entry{st: st, prio: cur})
 			continue
 		}
 		// Skip pairs already resolved transitively — their comparison
-		// spends budget without any possible benefit.
-		if r.cl.Same(e.pair.A, e.pair.B) {
+		// spends budget without any possible benefit. A speculative
+		// score it may have received is dead weight in its state, never
+		// consulted again.
+		if r.cl.Same(p.A, p.B) {
 			st.done = true
 			continue
 		}
-		return r.execute(e.pair, st), true
+		return r.execute(p, st), true
 	}
 }
 
 func (r *Resolver) execute(p blocking.Pair, st *pairState) Step {
 	st.done = true
-	score, matched := r.matcher.Decide(p.A, p.B, r.cl)
+	score, matched := r.matcher.DecideValue(p.A, p.B, r.valueSim(p, st), r.cl)
 	step := Step{A: p.A, B: p.B, Score: score, Matched: matched,
 		Discovered: st.discovered, Recheck: st.recheck}
 	if !matched {
@@ -244,6 +329,24 @@ func (r *Resolver) execute(p blocking.Pair, st *pairState) Step {
 		r.propagate(p.A, p.B)
 	}
 	return step
+}
+
+// valueSim returns the pair's value similarity: memoized from an
+// earlier execution (a recheck re-decides the pair, but its value
+// evidence cannot have changed), from the speculative score cache
+// when the parallel engine runs, or computed inline. ValueSim is
+// deterministic and cluster-independent, so every source yields the
+// same float.
+func (r *Resolver) valueSim(p blocking.Pair, st *pairState) float64 {
+	if st.hasVsim {
+		return st.vsim
+	}
+	if r.spec != nil {
+		return r.spec.valueSim(st)
+	}
+	v := r.matcher.ValueSim(p.A, p.B)
+	st.vsim, st.hasVsim = v, true
+	return v
 }
 
 // propagate is the update phase: a confirmed match (a, b) is evidence
@@ -267,13 +370,14 @@ func (r *Resolver) boost(p blocking.Pair) {
 	if col.NumKBs() > 1 && !col.CrossKB(p.A, p.B) {
 		return
 	}
-	st := r.states[p]
+	k := pairKey(p)
+	st := r.states[k]
 	if st == nil {
 		if r.cfg.DisableDiscovery {
 			return
 		}
-		st = &pairState{discovered: true} // no blocking evidence
-		r.states[p] = st
+		st = &pairState{pair: p, discovered: true} // no blocking evidence
+		r.states[k] = st
 	}
 	if st.done {
 		// The pair was already compared and failed (matched pairs are
@@ -289,7 +393,10 @@ func (r *Resolver) boost(p blocking.Pair) {
 		st.recheck = true
 	}
 	st.boost += r.cfg.NeighborBoost
-	r.heap.Push(entry{pair: p, prio: r.priority(p, st)})
+	r.heap.Push(entry{st: st, prio: r.priority(p, st)})
+	if r.spec != nil && !st.hasVsim {
+		r.spec.noteFresh(st)
+	}
 }
 
 // String renders a result summary.

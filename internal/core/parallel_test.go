@@ -1,0 +1,201 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/match"
+	"repro/internal/metablocking"
+)
+
+// hardWorld builds the center+periphery workload with links: the one
+// where discovery and rechecks actually fire, so trace equality covers
+// every Step field, not just the easy ones.
+func hardWorld(t *testing.T, seed int64, n int) (*match.Matcher, []metablocking.Edge) {
+	t.Helper()
+	cfg := datagen.Config{
+		Seed:        seed,
+		NumEntities: n,
+		KBs: []datagen.KBConfig{
+			{Name: "centerA", Coverage: 1, Profile: datagen.Center()},
+			{Name: "periphX", Coverage: 1, Profile: datagen.Periphery()},
+		},
+		LinksPerEntity: 3,
+	}
+	w, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipeline(t, w)
+}
+
+func sameTrace(t *testing.T, label string, seq, par *Result) {
+	t.Helper()
+	if len(seq.Trace) != len(par.Trace) {
+		t.Fatalf("%s: trace length %d != sequential %d", label, len(par.Trace), len(seq.Trace))
+	}
+	for i := range seq.Trace {
+		if seq.Trace[i] != par.Trace[i] {
+			t.Fatalf("%s: step %d differs:\n  sequential %+v\n  parallel   %+v",
+				label, i, seq.Trace[i], par.Trace[i])
+		}
+	}
+	if seq.Comparisons != par.Comparisons || seq.Matches != par.Matches ||
+		seq.Discovered != par.Discovered || seq.Rechecks != par.Rechecks ||
+		seq.TotalGain != par.TotalGain {
+		t.Fatalf("%s: summaries differ:\n  sequential %+v\n  parallel   %+v", label, seq, par)
+	}
+}
+
+// TestParallelTraceBitIdentical is the differential suite of the
+// speculative-score/serial-commit engine: for every benefit model,
+// discovery setting, and budget, the parallel trace must equal the
+// sequential resolver's step for step in every field, for every worker
+// count. CI runs it under -race, which also exercises the engine's
+// synchronization.
+func TestParallelTraceBitIdentical(t *testing.T) {
+	m, edges := hardWorld(t, 99, 130)
+	sawDiscovered, sawRecheck := false, false
+	for _, model := range Models() {
+		for _, noDisc := range []bool{false, true} {
+			for _, budget := range []int{1, 7, 0} {
+				base := Config{Benefit: model, DisableDiscovery: noDisc, Budget: budget}
+				seq := NewResolver(m, edges, base).Run()
+				for _, s := range seq.Trace {
+					sawDiscovered = sawDiscovered || s.Discovered
+					sawRecheck = sawRecheck || s.Recheck
+				}
+				for _, workers := range []int{1, 2, 4, 8} {
+					cfg := base
+					cfg.Workers = workers
+					par := NewResolver(m, edges, cfg).Run()
+					label := sprintfCase(model.Name(), noDisc, budget, workers)
+					sameTrace(t, label, seq, par)
+				}
+			}
+		}
+	}
+	// The matrix must have exercised the hard step kinds, or the
+	// equality above proves less than it claims.
+	if !sawDiscovered {
+		t.Error("no sequential trace contained a discovered comparison")
+	}
+	if !sawRecheck {
+		t.Error("no sequential trace contained a recheck")
+	}
+}
+
+func sprintfCase(model string, noDisc bool, budget, workers int) string {
+	disc := "discovery"
+	if noDisc {
+		disc = "no-discovery"
+	}
+	return model + "/" + disc + "/budget=" + itoa(budget) + "/workers=" + itoa(workers)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "inf"
+	}
+	return strconv.Itoa(n)
+}
+
+// TestParallelResumeLegs drives the parallel engine through uneven
+// budget legs on one resolver — in-flight speculation waves cross leg
+// boundaries — and requires the concatenated trace to equal one
+// sequential run with the summed budget.
+func TestParallelResumeLegs(t *testing.T) {
+	m, edges := hardWorld(t, 100, 120)
+	seq := NewResolver(m, edges, Config{}).Run()
+
+	r := NewResolver(m, edges, Config{Workers: 4})
+	var combined []Step
+	for _, leg := range []int{1, 7, 13, 40} {
+		combined = append(combined, r.RunBudget(leg).Trace...)
+	}
+	combined = append(combined, r.RunBudget(0).Trace...)
+	if len(combined) != len(seq.Trace) {
+		t.Fatalf("leg traces concatenate to %d steps, sequential has %d", len(combined), len(seq.Trace))
+	}
+	for i := range combined {
+		if combined[i] != seq.Trace[i] {
+			t.Fatalf("step %d differs across legs: %+v vs %+v", i, combined[i], seq.Trace[i])
+		}
+	}
+}
+
+// executable counts pairs that could be compared right now: tracked,
+// not done, not already resolved transitively. Pending is documented
+// as an upper bound on this.
+func executable(r *Resolver) int {
+	n := 0
+	for k, st := range r.states {
+		if p := keyPair(k); !st.done && !r.cl.Same(p.A, p.B) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPendingNeverUndercounts checks the documented upper-bound
+// property of Pending as the heap accumulates stale entries (boost
+// reinsertion and lazy revalidation both duplicate entries): at every
+// checkpoint Pending must be at least the number of executable
+// comparisons, and a drained resolver must leave none executable.
+func TestPendingNeverUndercounts(t *testing.T) {
+	for _, noDisc := range []bool{false, true} {
+		for _, seed := range []int64{7, 8, 9} {
+			m, edges := hardWorld(t, seed, 90)
+			r := NewResolver(m, edges, Config{DisableDiscovery: noDisc})
+			for {
+				if p, e := r.Pending(), executable(r); p < e {
+					t.Fatalf("seed=%d noDisc=%v: Pending=%d undercounts %d executable", seed, noDisc, p, e)
+				}
+				if res := r.RunBudget(25); res.Comparisons == 0 {
+					break
+				}
+			}
+			if e := executable(r); e != 0 {
+				t.Fatalf("seed=%d noDisc=%v: drained resolver left %d executable pairs", seed, noDisc, e)
+			}
+		}
+	}
+}
+
+// TestConfigExplicitZero is the regression suite for the zero-value
+// config trap: zeroing a field of DefaultConfig must stick, while the
+// zero Config keeps getting the documented defaults.
+func TestConfigExplicitZero(t *testing.T) {
+	if d := (Config{}).withDefaults(); d.NeighborBoost != 0.4 || d.BiasWeight != 0.25 {
+		t.Fatalf("zero Config no longer defaults: %+v", d)
+	}
+	cfg := DefaultConfig()
+	cfg.BiasWeight = 0
+	cfg.NeighborBoost = 0
+	if d := cfg.withDefaults(); d.BiasWeight != 0 || d.NeighborBoost != 0 {
+		t.Fatalf("explicit zeros overwritten: %+v", d)
+	}
+	if d := (Config{}).withDefaults(); d.Benefit == nil {
+		t.Fatal("nil Benefit not defaulted")
+	}
+
+	// Semantics: DefaultConfig ≡ zero Config, and a true-zero bias
+	// actually changes the schedule relative to the default (the old
+	// ε-hack in the ablations existed precisely because 0 could not).
+	m, edges := hardWorld(t, 11, 100)
+	def := NewResolver(m, edges, Config{}).Run()
+	norm := NewResolver(m, edges, DefaultConfig()).Run()
+	sameTrace(t, "DefaultConfig vs zero Config", def, norm)
+
+	zeroed := DefaultConfig()
+	zeroed.BiasWeight = 0
+	zeroBias := NewResolver(m, edges, zeroed).Run()
+	differs := len(zeroBias.Trace) != len(def.Trace)
+	for i := 0; !differs && i < len(def.Trace); i++ {
+		differs = zeroBias.Trace[i] != def.Trace[i]
+	}
+	if !differs {
+		t.Error("BiasWeight=0 produced the default-bias trace; explicit zero had no effect")
+	}
+}

@@ -69,7 +69,9 @@ func A2NeighborWeight(seed int64, n int) *Table {
 		Title:  "Ablation: neighbor-evidence weight (update-phase strength)",
 		Header: []string{"weight", "comparisons", "discovered", "recall", "precision", "F1"},
 	}
-	for _, nw := range []float64{0.0001, 0.25, 0.5, 0.75} {
+	// DefaultOptions is normalized, so the literal 0 below truly
+	// disables neighbor evidence (no ε workaround needed).
+	for _, nw := range []float64{0, 0.25, 0.5, 0.75} {
 		mopts := match.DefaultOptions()
 		mopts.NeighborWeight = nw
 		matcher := match.NewMatcher(w.Collection, mopts)
@@ -104,16 +106,24 @@ func A3SchedulerComponents(seed int64, n int) *Table {
 		Title:  "Ablation: scheduler components (recall AUC over the edge horizon)",
 		Header: []string{"variant", "comparisons", "matches", "AUC", "final recall"},
 	}
-	const off = 1e-9 // harness treats 0 as "use default", so disable with ε
+	// DefaultConfig is normalized: zeroing a field disables that
+	// component outright (the pre-normalization harness needed an ε
+	// because a literal 0 meant "use default").
+	noBias := core.DefaultConfig()
+	noBias.BiasWeight = 0
+	noBoost := core.DefaultConfig()
+	noBoost.NeighborBoost = 0
+	static := core.DefaultConfig()
+	static.BiasWeight, static.NeighborBoost, static.DisableDiscovery = 0, 0, true
 	variants := []struct {
 		name string
 		cfg  core.Config
 	}{
 		{"full", core.Config{}},
-		{"no bias", core.Config{BiasWeight: off}},
-		{"no boost", core.Config{NeighborBoost: off}},
+		{"no bias", noBias},
+		{"no boost", noBoost},
 		{"no discovery", core.Config{DisableDiscovery: true}},
-		{"static order", core.Config{BiasWeight: off, NeighborBoost: off, DisableDiscovery: true}},
+		{"static order", static},
 	}
 	for _, v := range variants {
 		res := core.NewResolver(s.m, s.edges, v.cfg).Run()

@@ -36,26 +36,64 @@ type Options struct {
 	// non-matching pairs rarely exceed 0.2 while matching pairs score
 	// 0.2–0.8).
 	MinValueSim float64
+	// Normalized marks the options as fully specified: zero numeric
+	// fields are taken literally instead of being replaced by the
+	// documented defaults. DefaultOptions returns normalized options,
+	// so the idiomatic way to request a true zero — say NeighborWeight
+	// 0 for value-only matching — is to start from DefaultOptions and
+	// zero the field. A zero Tokenize still means tokenize.Default():
+	// the zero tokenize.Options extracts nothing and is never useful.
+	Normalized bool
 }
 
-// DefaultOptions returns the pipeline defaults.
+// DefaultOptions returns the pipeline defaults, normalized.
 func DefaultOptions() Options {
 	return Options{
 		Tokenize:       tokenize.Default(),
 		Threshold:      0.35,
 		NeighborWeight: 0.50,
 		MinValueSim:    0.12,
+		Normalized:     true,
 	}
 }
 
+// WithDefaults returns the options with unset fields replaced by the
+// documented defaults. Already-normalized options pass through with
+// only the Tokenize default applied, so explicit zeros survive.
+func (o Options) WithDefaults() Options {
+	var zero tokenize.Options
+	if o.Tokenize == zero {
+		o.Tokenize = tokenize.Default()
+	}
+	if o.Normalized {
+		return o
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.35
+	}
+	if o.NeighborWeight == 0 {
+		o.NeighborWeight = 0.50
+	}
+	if o.MinValueSim == 0 {
+		o.MinValueSim = 0.12
+	}
+	o.Normalized = true
+	return o
+}
+
 // Matcher scores and decides description pairs over one collection.
-// It is read-only with respect to the collection after construction
-// (safe for concurrent Score calls as long as the token cache is
-// pre-warmed, which NewMatcher does).
+// It is read-only after construction: NewMatcher pre-warms the token
+// cache and vectorizes every description, so concurrent ValueSim and
+// Score calls are race-free — the property the parallel matching
+// engine's speculative scoring workers rely on.
 type Matcher struct {
 	col   *kb.Collection
 	opts  Options
 	tfidf *similarity.TFIDF
+	// vecs caches each description's sparse TF-IDF vector so ValueSim
+	// is a merge join over presorted weights instead of re-walking raw
+	// tokens and rebuilding weight maps per comparison.
+	vecs []similarity.Vector
 	// neighbors caches each description's combined neighborhood: its
 	// out-links (Collection.Neighbors) plus its in-links (descriptions
 	// linking to it). Equivalence evidence flows along links in both
@@ -64,26 +102,20 @@ type Matcher struct {
 }
 
 // NewMatcher builds a matcher: learns IDF weights over the whole
-// collection and caches token evidence and neighbor lists.
+// collection and caches token evidence, sparse TF-IDF vectors, and
+// neighbor lists.
 func NewMatcher(col *kb.Collection, opts Options) *Matcher {
-	if opts.Threshold == 0 {
-		opts.Threshold = 0.35
-	}
-	if opts.NeighborWeight == 0 {
-		opts.NeighborWeight = 0.50
-	}
-	if opts.MinValueSim == 0 {
-		opts.MinValueSim = 0.12
-	}
-	var zero tokenize.Options
-	if opts.Tokenize == zero {
-		opts.Tokenize = tokenize.Default()
-	}
+	opts = opts.WithDefaults()
 	m := &Matcher{col: col, opts: opts, tfidf: similarity.NewTFIDF()}
 	out := make([][]int, col.Len())
 	for id := 0; id < col.Len(); id++ {
 		m.tfidf.AddDoc(col.Tokens(id, opts.Tokenize))
 		out[id] = col.Neighbors(id)
+	}
+	// Vectorize after the IDF pass: weights need the whole corpus.
+	m.vecs = make([]similarity.Vector, col.Len())
+	for id := 0; id < col.Len(); id++ {
+		m.vecs[id] = m.tfidf.Vectorize(col.Tokens(id, opts.Tokenize))
 	}
 	// Combine out- and in-neighbors, deduplicated, out-links first.
 	m.neighbors = make([][]int, col.Len())
@@ -121,9 +153,11 @@ func (m *Matcher) Options() Options { return m.opts }
 func (m *Matcher) Neighbors(id int) []int { return m.neighbors[id] }
 
 // ValueSim returns the IDF-weighted cosine similarity of the two
-// descriptions' token evidence, in [0, 1].
+// descriptions' token evidence, in [0, 1]. It reads only the cached
+// sparse vectors, so concurrent calls are race-free; the result is
+// bit-identical to TFIDF.Cosine over the raw token multisets.
 func (m *Matcher) ValueSim(a, b int) float64 {
-	return m.tfidf.Cosine(m.col.Tokens(a, m.opts.Tokenize), m.col.Tokens(b, m.opts.Tokenize))
+	return similarity.CosineVectors(m.vecs[a], m.vecs[b])
 }
 
 // NeighborSim measures how much the two descriptions' neighborhoods
@@ -177,11 +211,19 @@ func (m *Matcher) Score(a, b int, resolved *container.UnionFind) float64 {
 // each description has at most one duplicate per other source, so a
 // second neighbor-carried partner is almost surely spurious.
 func (m *Matcher) Decide(a, b int, cl *Clusters) (score float64, matched bool) {
+	return m.DecideValue(a, b, m.ValueSim(a, b), cl)
+}
+
+// DecideValue is Decide with the pair's value similarity supplied by
+// the caller — the commit hook of the parallel matching engine, whose
+// scoring workers precompute ValueSim speculatively. v must equal
+// ValueSim(a, b); then DecideValue(a, b, v, cl) is bit-identical to
+// Decide(a, b, cl).
+func (m *Matcher) DecideValue(a, b int, v float64, cl *Clusters) (score float64, matched bool) {
 	var resolved *container.UnionFind
 	if cl != nil {
 		resolved = cl.UF()
 	}
-	v := m.ValueSim(a, b)
 	score = v + m.opts.NeighborWeight*m.NeighborSim(a, b, resolved)
 	if score > 1 {
 		score = 1

@@ -1,11 +1,13 @@
 package match
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/container"
 	"repro/internal/datagen"
 	"repro/internal/kb"
+	"repro/internal/tokenize"
 )
 
 func linkedWorld(t *testing.T) *kb.Collection {
@@ -166,4 +168,102 @@ func TestClusters(t *testing.T) {
 	if cl.String() == "" {
 		t.Error("empty String")
 	}
+}
+
+// TestValueSimMatchesRawCosine pins the cached-vector fast path: the
+// matcher's ValueSim must return the exact float the TF-IDF model
+// computes from the raw token multisets.
+func TestValueSimMatchesRawCosine(t *testing.T) {
+	c := linkedWorld(t)
+	m := NewMatcher(c, DefaultOptions())
+	for a := 0; a < c.Len(); a++ {
+		for b := 0; b < c.Len(); b++ {
+			want := m.tfidf.Cosine(c.Tokens(a, m.opts.Tokenize), c.Tokens(b, m.opts.Tokenize))
+			if got := m.ValueSim(a, b); got != want {
+				t.Fatalf("ValueSim(%d,%d)=%v, raw cosine %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestDecideValueMatchesDecide pins the parallel engine's commit hook:
+// DecideValue with the pair's own ValueSim is Decide, bit for bit.
+func TestDecideValueMatchesDecide(t *testing.T) {
+	c := linkedWorld(t)
+	m := NewMatcher(c, DefaultOptions())
+	cl := NewClustersFor(c)
+	cl.Merge(1, 3) // resolve the countries so neighbor evidence exists
+	for a := 0; a < c.Len(); a++ {
+		for b := a + 1; b < c.Len(); b++ {
+			ws, wm := m.Decide(a, b, cl)
+			gs, gm := m.DecideValue(a, b, m.ValueSim(a, b), cl)
+			if ws != gs || wm != gm {
+				t.Fatalf("DecideValue(%d,%d)=(%v,%v), Decide=(%v,%v)", a, b, gs, gm, ws, wm)
+			}
+		}
+	}
+}
+
+// TestExplicitZeroOptions is the regression suite for the zero-value
+// config trap: zeroing a field of the normalized DefaultOptions must
+// survive NewMatcher, while the zero Options still gets defaults.
+func TestExplicitZeroOptions(t *testing.T) {
+	c := linkedWorld(t)
+	opts := DefaultOptions()
+	opts.NeighborWeight = 0
+	opts.MinValueSim = 0
+	m := NewMatcher(c, opts)
+	if got := m.Options(); got.NeighborWeight != 0 || got.MinValueSim != 0 {
+		t.Fatalf("explicit zeros overwritten: %+v", got)
+	}
+	// With NeighborWeight 0 the combined score is pure value
+	// similarity, even with resolved neighbors.
+	cl := NewClustersFor(c)
+	cl.Merge(1, 3)
+	if s := m.Score(0, 2, cl.UF()); s != m.ValueSim(0, 2) {
+		t.Errorf("NeighborWeight=0 still adds neighbor evidence: score=%v valueSim=%v", s, m.ValueSim(0, 2))
+	}
+	// WithDefaults fills unset fields exactly once and is idempotent.
+	d := (Options{}).WithDefaults()
+	if d.Threshold != 0.35 || d.NeighborWeight != 0.50 || d.MinValueSim != 0.12 || !d.Normalized {
+		t.Fatalf("zero Options no longer defaults: %+v", d)
+	}
+	if again := d.WithDefaults(); again != d {
+		t.Errorf("WithDefaults not idempotent: %+v vs %+v", again, d)
+	}
+	// A normalized options value with a zero Tokenize still gets the
+	// tokenizer default — the zero tokenizer extracts nothing.
+	z := DefaultOptions()
+	z.Tokenize = tokenize.Options{}
+	if got := NewMatcher(c, z).Options().Tokenize; got.MinLength == 0 {
+		t.Error("zero Tokenize not defaulted on normalized options")
+	}
+}
+
+// TestMatcherConcurrentValueSim exercises the property the parallel
+// matching engine relies on: after construction, concurrent ValueSim
+// and Decide calls are race-free (run under -race in CI).
+func TestMatcherConcurrentValueSim(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(31, 80, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(w.Collection, DefaultOptions())
+	n := w.Collection.Len()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				a, b := (g*131+i)%n, (g*17+i*7+1)%n
+				v := m.ValueSim(a, b)
+				if v < 0 || v > 1 {
+					t.Errorf("ValueSim out of range: %v", v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -141,6 +141,65 @@ func (m *TFIDF) Cosine(a, b []string) float64 {
 	return dot / (math.Sqrt(na) * math.Sqrt(nb))
 }
 
+// Vector is a sparse TF-IDF document vector: the document's distinct
+// tokens in ascending order with their TF-IDF weights, plus the
+// precomputed squared norm. Vectorizing a document once and scoring
+// with CosineVectors avoids re-walking raw tokens and rebuilding
+// weight maps on every comparison — the dominant cost of the matching
+// stage — and the result is bit-identical to calling Cosine on the
+// raw token multisets, because both accumulate norms and dot products
+// in ascending token order. A Vector is immutable after construction
+// and safe for concurrent reads.
+type Vector struct {
+	Tokens  []string
+	Weights []float64
+	// Norm is Σ weight², accumulated in ascending token order — the
+	// exact float sum Cosine computes internally.
+	Norm float64
+}
+
+// Vectorize builds the sparse TF-IDF vector of one token multiset
+// under the model's current IDF weights.
+func (m *TFIDF) Vectorize(tokens []string) Vector {
+	ws := m.weights(tokens)
+	v := Vector{
+		Tokens:  make([]string, len(ws)),
+		Weights: make([]float64, len(ws)),
+	}
+	for i, w := range ws {
+		v.Tokens[i] = w.token
+		v.Weights[i] = w.weight
+		v.Norm += w.weight * w.weight
+	}
+	return v
+}
+
+// CosineVectors returns the cosine similarity of two vectorized
+// documents, bit-identical to Cosine over the raw token multisets the
+// vectors were built from (under the same model): the sorted-order
+// merge join visits common tokens in exactly the order Cosine's
+// sorted-token accumulation does.
+func CosineVectors(a, b Vector) float64 {
+	if a.Norm == 0 || b.Norm == 0 {
+		return 0
+	}
+	var dot float64
+	i, j := 0, 0
+	for i < len(a.Tokens) && j < len(b.Tokens) {
+		switch {
+		case a.Tokens[i] == b.Tokens[j]:
+			dot += a.Weights[i] * b.Weights[j]
+			i++
+			j++
+		case a.Tokens[i] < b.Tokens[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return dot / (math.Sqrt(a.Norm) * math.Sqrt(b.Norm))
+}
+
 type tokenWeight struct {
 	token  string
 	weight float64

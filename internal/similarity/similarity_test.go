@@ -2,6 +2,8 @@ package similarity
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -187,5 +189,70 @@ func TestMeasureProperties(t *testing.T) {
 	}
 	if err := quick.Check(setF, &quick.Config{MaxCount: 200}); err != nil {
 		t.Errorf("set measures: %v", err)
+	}
+}
+
+// TestCosineVectorsBitIdentical pins the contract the cached-vector
+// fast path of the matcher relies on: CosineVectors over Vectorize'd
+// documents returns the exact float Cosine returns over the raw token
+// multisets — not approximately, bit for bit.
+func TestCosineVectorsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vocab := make([]string, 60)
+	for i := range vocab {
+		vocab[i] = string(rune('a'+i%26)) + string(rune('a'+i/26))
+	}
+	doc := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return out
+	}
+	m := NewTFIDF()
+	docs := make([][]string, 200)
+	for i := range docs {
+		docs[i] = doc(rng.Intn(30)) // includes empty docs
+		m.AddDoc(docs[i])
+	}
+	vecs := make([]Vector, len(docs))
+	for i, d := range docs {
+		vecs[i] = m.Vectorize(d)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		i, j := rng.Intn(len(docs)), rng.Intn(len(docs))
+		want := m.Cosine(docs[i], docs[j])
+		got := CosineVectors(vecs[i], vecs[j])
+		if want != got {
+			t.Fatalf("docs %d,%d: CosineVectors=%v Cosine=%v (diff %g)", i, j, got, want, got-want)
+		}
+	}
+	// Self-similarity of a non-empty doc is 1 up to round-off, and the
+	// vectors of the empty model score 0.
+	empty := NewTFIDF()
+	if got := CosineVectors(empty.Vectorize([]string{"x"}), empty.Vectorize([]string{"x"})); got != 0 {
+		t.Errorf("empty-model cosine = %v, want 0", got)
+	}
+}
+
+// TestVectorizeNorm checks the Norm field against the sum of squared
+// weights in sorted-token order.
+func TestVectorizeNorm(t *testing.T) {
+	m := NewTFIDF()
+	m.AddDoc([]string{"a", "b"})
+	m.AddDoc([]string{"b", "c"})
+	v := m.Vectorize([]string{"b", "a", "b"})
+	if len(v.Tokens) != 2 || v.Tokens[0] != "a" || v.Tokens[1] != "b" {
+		t.Fatalf("tokens not sorted/deduped: %v", v.Tokens)
+	}
+	if !sort.StringsAreSorted(v.Tokens) {
+		t.Error("tokens unsorted")
+	}
+	want := v.Weights[0]*v.Weights[0] + v.Weights[1]*v.Weights[1]
+	if v.Norm != want {
+		t.Errorf("Norm=%v, want %v", v.Norm, want)
+	}
+	if empty := m.Vectorize(nil); empty.Norm != 0 || len(empty.Tokens) != 0 {
+		t.Errorf("empty vectorize = %+v", empty)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/kb"
 	"repro/internal/match"
 	"repro/internal/metablocking"
+	"repro/internal/parmeta"
 	"repro/internal/pipeline"
 	"repro/internal/tokenize"
 )
@@ -116,14 +117,17 @@ type Config struct {
 	// clusters (default TransitiveClosure; CenterClustering or
 	// UniqueMappingClustering trade a little recall for precision).
 	Clustering Clustering
-	// Workers sets the parallelism of the pipeline front-end — token
-	// blocking, block cleaning, graph build, weighting, and pruning,
-	// all dispatched through one engine (internal/pipeline): 1 runs
-	// the sequential reference engine, n > 1 runs the shared-memory
-	// parallel engine with n workers, and 0 — the default — uses one
-	// worker per available CPU (GOMAXPROCS), so Resolve is
-	// automatically parallel on multicore hosts. Every setting
-	// produces identical results.
+	// Workers sets the parallelism of the whole pipeline. The
+	// front-end stages — token blocking, block cleaning, graph build,
+	// weighting, and pruning — dispatch through one engine
+	// (internal/pipeline), and the matching stage runs the
+	// speculative-score/serial-commit engine (internal/core) with the
+	// same worker count: 1 runs the sequential reference everywhere,
+	// n > 1 runs the parallel engines with n workers, and 0 — the
+	// default — uses one worker per available CPU (GOMAXPROCS), so
+	// Resolve is automatically parallel on multicore hosts. Every
+	// setting produces identical results, including a bit-identical
+	// progressive trace.
 	Workers int
 	// MapReduce routes the front-end stages through the in-process
 	// MapReduce engine (internal/parblock) instead of the
@@ -326,8 +330,11 @@ type Session struct {
 // engine layer: pipeline.Select maps Config.Workers/Config.MapReduce
 // onto the sequential reference, the shared-memory parallel engine, or
 // the in-process MapReduce dataflow, and every stage is dispatched
-// uniformly through it. The results are bit-identical whichever engine
-// runs.
+// uniformly through it. The matching stage (run by Resume) gets the
+// same resolved worker count: with more than one worker the resolver
+// precomputes value similarities on a worker pool while a single
+// committer replays the exact sequential schedule. The results are
+// bit-identical whichever engine runs and whatever the worker count.
 func (p *Pipeline) Start() (*Session, error) {
 	if p.col.Len() == 0 {
 		return nil, fmt.Errorf("minoaner: no descriptions loaded")
@@ -351,6 +358,7 @@ func (p *Pipeline) Start() (*Session, error) {
 	resolver := core.NewResolver(matcher, edges, core.Config{
 		Benefit:          p.cfg.Benefit,
 		DisableDiscovery: p.cfg.DisableDiscovery,
+		Workers:          parmeta.Workers(p.cfg.Workers),
 	})
 	return &Session{
 		p:        p,
