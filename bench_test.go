@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
+	"repro/internal/kb"
 	"repro/internal/mapreduce"
 	"repro/internal/match"
 	"repro/internal/metablocking"
@@ -251,6 +252,69 @@ func BenchmarkFrontEndRun(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := pipeline.Run(eng, w.Collection, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIngest is the streaming cost profile: folding a small batch
+// into a live front-end state (pipeline.Start + Engine.Ingest) versus
+// rebuilding the front-end from scratch over the grown corpus. The
+// ingest path re-tokenizes only the batch and updates the blocking
+// graph only in the batch's neighborhood, so its ns/op must sit far
+// below the rebuild's — the delta-proportionality the incremental
+// subsystem exists for. Per-iteration state construction is excluded
+// from the timer.
+func BenchmarkIngest(b *testing.B) {
+	const delta = 10
+	w := benchWorld(b, 1000) // two KBs ⇒ ~2000 descriptions
+	full := w.Collection
+	n := full.Len()
+	opt := pipeline.Options{
+		Tokenize:    tokenize.Default(),
+		FilterRatio: 0.8,
+		Scheme:      metablocking.ECBS,
+		Pruning:     metablocking.WNP,
+	}
+	copyInto := func(dst *kb.Collection, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			d := full.Desc(id)
+			dst.Add(&kb.Description{URI: d.URI, KB: d.KB, Types: d.Types, Attrs: d.Attrs, Links: d.Links})
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		eng := pipeline.Select(workers, false)
+		b.Run(fmt.Sprintf("ingest-batch/%s/workers=%d", eng.Name(), workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				grown := kb.NewCollection()
+				copyInto(grown, 0, n-delta)
+				st, err := pipeline.Start(eng, grown, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				copyInto(grown, n-delta, n)
+				b.StartTimer()
+				if err := eng.Ingest(st); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if st.LastUpdate.Rebuilt {
+					b.Fatal("ingest fell back to a full graph rebuild")
+				}
+				b.ReportMetric(float64(st.LastUpdate.EdgesTouched), "touched-edges")
+				b.ReportMetric(float64(st.Front.Graph.NumEdges()), "total-edges")
+				b.StartTimer()
+			}
+		})
+		b.Run(fmt.Sprintf("rebuild/%s/workers=%d", eng.Name(), workers), func(b *testing.B) {
+			scratch := kb.NewCollection()
+			copyInto(scratch, 0, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.Run(eng, scratch, opt); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -217,6 +217,16 @@ func (s *speculator) drain(block bool) {
 	}
 }
 
+// shutdown waits out every in-flight wave, leaving no goroutine
+// reading the matcher and no slot marked in flight — the quiescence
+// Reseed needs before it swaps the matcher and invalidates the value
+// memos the waves were filling.
+func (s *speculator) shutdown() {
+	for s.pending > 0 {
+		s.drain(true)
+	}
+}
+
 // valueSim hands the committer the pair's value similarity: from the
 // state's memo, from a wave still in flight (waiting for it), or
 // computed inline on a speculation miss.

@@ -83,6 +83,7 @@ type Collection struct {
 	tokens   [][]string // id → cached token evidence (built lazily)
 	tokOpts  tokenize.Options
 	hasToken bool
+	merged   []int // existing ids extended by Add since the last TakeMerged
 }
 
 // NewCollection returns an empty collection.
@@ -97,13 +98,21 @@ func NewCollection() *Collection {
 // Add inserts a description and returns its id. Adding a URI that
 // already exists in the same KB merges the attributes, types and links
 // into the existing description and returns its id.
+//
+// The token cache survives an Add: a fresh id gets an empty slot
+// (tokenized lazily), and a merged id has only its own slot
+// invalidated — the append-only discipline incremental ingestion
+// relies on to keep delta tokenization proportional to the delta.
 func (c *Collection) Add(d *Description) int {
 	if id, ok := c.byURI[key(d.KB, d.URI)]; ok {
 		ex := c.descs[id]
 		ex.Types = append(ex.Types, d.Types...)
 		ex.Attrs = append(ex.Attrs, d.Attrs...)
 		ex.Links = append(ex.Links, d.Links...)
-		c.hasToken = false
+		if c.hasToken {
+			c.tokens[id] = nil
+		}
+		c.merged = append(c.merged, id)
 		return id
 	}
 	id := len(c.descs)
@@ -117,8 +126,41 @@ func (c *Collection) Add(d *Description) int {
 		c.kbIndex[d.KB] = ki
 	}
 	c.kbOf = append(c.kbOf, ki)
-	c.hasToken = false
+	if c.hasToken {
+		c.tokens = append(c.tokens, nil)
+	}
 	return id
+}
+
+// HasMerged reports whether any merge-Adds are pending for TakeMerged.
+func (c *Collection) HasMerged() bool { return len(c.merged) > 0 }
+
+// TakeMerged returns the ids of existing descriptions that Add has
+// extended (same KB and URI re-added) since the last call, deduplicated
+// and ascending, and resets the list. Incremental blocking uses it to
+// find descriptions whose token evidence may have grown: Add only ever
+// appends attributes, types, and links, so a merged description's token
+// set is a superset of what it was.
+func (c *Collection) TakeMerged() []int {
+	if len(c.merged) == 0 {
+		return nil
+	}
+	ids := dedupSortedInts(c.merged)
+	c.merged = nil
+	return ids
+}
+
+func dedupSortedInts(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
 }
 
 func key(kb, uri string) string { return kb + "\x00" + uri }

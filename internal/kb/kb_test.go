@@ -139,6 +139,64 @@ func TestCollectionTokenCache(t *testing.T) {
 	}
 }
 
+// TestAddPreservesTokenCache pins the append-only cache discipline
+// incremental ingestion relies on: adding a fresh description leaves
+// existing cached token slices untouched (same backing array), and a
+// merge-Add invalidates only the merged id's slot.
+func TestAddPreservesTokenCache(t *testing.T) {
+	c := loadSample(t)
+	opts := tokenize.Default()
+	paris, _ := c.IDOf("kb1", "http://kb1.org/Paris")
+	before := c.Tokens(paris, opts)
+
+	// Appending a new description must not reset the cache.
+	nid := c.Add(&Description{URI: "http://kb1.org/Nice", KB: "kb1",
+		Attrs: []Attribute{{"http://kb1.org/label", "Nice Riviera"}}})
+	after := c.Tokens(paris, opts)
+	if len(before) == 0 || &before[0] != &after[0] {
+		t.Error("Add of a new description rebuilt the existing token cache")
+	}
+	if got := c.Tokens(nid, opts); len(got) == 0 {
+		t.Errorf("new id has no tokens: %v", got)
+	}
+
+	// A merge-Add invalidates the merged id only.
+	nice := c.Tokens(nid, opts)
+	c.Add(&Description{URI: "http://kb1.org/Paris", KB: "kb1",
+		Attrs: []Attribute{{"http://kb1.org/nick", "lutetia"}}})
+	merged := c.Tokens(paris, opts)
+	found := false
+	for _, tok := range merged {
+		if tok == "lutetia" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("merged tokens %v missing new evidence", merged)
+	}
+	if got := c.Tokens(nid, opts); &got[0] != &nice[0] {
+		t.Error("merge-Add invalidated an unrelated id's cache entry")
+	}
+}
+
+func TestTakeMerged(t *testing.T) {
+	c := loadSample(t)
+	if got := c.TakeMerged(); got != nil {
+		t.Fatalf("fresh collection reports merged ids %v", got)
+	}
+	paris, _ := c.IDOf("kb1", "http://kb1.org/Paris")
+	c.Add(&Description{URI: "http://kb1.org/Paris", KB: "kb1"})
+	c.Add(&Description{URI: "http://kb1.org/Paris", KB: "kb1"})
+	c.Add(&Description{URI: "http://kb1.org/Brandnew", KB: "kb1"})
+	got := c.TakeMerged()
+	if !reflect.DeepEqual(got, []int{paris}) {
+		t.Fatalf("TakeMerged=%v, want [%d] (deduplicated, new ids excluded)", got, paris)
+	}
+	if again := c.TakeMerged(); again != nil {
+		t.Fatalf("TakeMerged did not reset: %v", again)
+	}
+}
+
 func TestStats(t *testing.T) {
 	c := loadSample(t)
 	s := c.Stats()

@@ -272,6 +272,27 @@ func NewClustersFor(col *kb.Collection) *Clusters {
 // scheduler's neighbor-evidence computation).
 func (c *Clusters) UF() *container.UnionFind { return c.uf }
 
+// GrowFor extends the clusters to cover descriptions appended to the
+// collection since construction: new ids join as singletons, existing
+// clusters are untouched. KB tracking follows NewClustersFor's rule —
+// it is dropped entirely if the collection has outgrown 64 KBs, so a
+// grown Clusters always behaves exactly like one built fresh over the
+// same collection with the same merges applied.
+func (c *Clusters) GrowFor(col *kb.Collection) {
+	old := c.uf.Len()
+	c.uf.Grow(col.Len())
+	if c.mask == nil {
+		return
+	}
+	if col.NumKBs() > 64 {
+		c.mask = nil
+		return
+	}
+	for id := old; id < col.Len(); id++ {
+		c.mask = append(c.mask, 1<<uint(col.KBOf(id)))
+	}
+}
+
 // Merge records that a and b match, returning whether the clusters
 // were previously distinct.
 func (c *Clusters) Merge(a, b int) bool {

@@ -1,0 +1,235 @@
+package metablocking
+
+import (
+	"sort"
+
+	"repro/internal/blocking"
+)
+
+// Incremental graph maintenance for streaming ingestion.
+//
+// After new descriptions arrive, block cleaning is recomputed globally
+// (it is linear and its decisions are global), but the blocking graph —
+// whose construction enumerates every pair of every block and is the
+// front-end's superlinear stage — is updated in place: only the edges
+// incident to blocks whose membership changed are recomputed. The
+// update is bit-identical to a from-scratch Build over the new block
+// collection because every per-edge float accumulation is replayed in
+// the same canonical order Build uses (ascending block index, one term
+// per co-occurrence), and all other statistics are integers.
+
+// UpdateStats reports how much work an incremental update did — the
+// observable evidence that ingestion is proportional to the delta.
+type UpdateStats struct {
+	// BlocksAdded, BlocksRemoved, BlocksChanged count blocks whose
+	// membership differs between the old and new collections.
+	BlocksAdded, BlocksRemoved, BlocksChanged int
+	// EdgesTouched is how many distinct edges were recomputed.
+	EdgesTouched int
+	// Rebuilt reports that the update fell back to a full Build —
+	// taken only when the clean–clean setting itself flipped (a second
+	// KB appeared), which changes the pair semantics of every block.
+	Rebuilt bool
+}
+
+// Update transforms g — which must equal Build(oldCol, anyScheme) up to
+// weights — into Build(newCol, scheme), bit-identically: the same edges
+// in the same order with the same float statistics and weights. Only
+// edges incident to changed blocks are recomputed; per-node aggregates
+// and weights are refreshed globally (linear work).
+func (g *Graph) Update(oldCol, newCol *blocking.Collection, scheme Scheme) UpdateStats {
+	st := g.UpdateStructure(oldCol, newCol, scheme)
+	if !st.Rebuilt {
+		g.reweigh(scheme)
+	}
+	return st
+}
+
+// UpdateStructure is Update without the final reweigh pass: it brings
+// the edge list, per-edge statistics, and per-node aggregates to the
+// Build(newCol) state but leaves the weights stale. Callers must
+// reweigh afterwards (sequentially via Reweigh, or sharded via
+// ReweighRange — the shared-memory engine's path). When the update
+// falls back to a full rebuild (Rebuilt in the stats), the weights are
+// already current under scheme.
+func (g *Graph) UpdateStructure(oldCol, newCol *blocking.Collection, scheme Scheme) UpdateStats {
+	if oldCol.CleanClean != newCol.CleanClean {
+		// The comparable-pair semantics of every block changed (the
+		// collection crossed the one-KB → many-KB boundary): every
+		// block's comparison count and pair set is different, so there
+		// is no delta to exploit. Happens at most once per session.
+		*g = *Build(newCol, scheme)
+		return UpdateStats{Rebuilt: true}
+	}
+
+	stats := UpdateStats{}
+	touched := make(map[uint64]struct{})
+	note := func(b *blocking.Block, col *blocking.Collection) {
+		for x := 0; x < len(b.Entities); x++ {
+			for y := x + 1; y < len(b.Entities); y++ {
+				a, bb := b.Entities[x], b.Entities[y]
+				if col.CleanClean && !col.Source.CrossKB(a, bb) {
+					continue
+				}
+				if a > bb {
+					a, bb = bb, a
+				}
+				touched[edgeKey(int32(a), int32(bb))] = struct{}{}
+			}
+		}
+	}
+
+	// Merge-walk the two collections by block key (each is sorted with
+	// distinct keys). A block counts as changed when its membership
+	// differs; its pairs — old and new — are the touched neighborhood.
+	oi, ni := 0, 0
+	for oi < len(oldCol.Blocks) || ni < len(newCol.Blocks) {
+		switch {
+		case ni == len(newCol.Blocks) || (oi < len(oldCol.Blocks) && oldCol.Blocks[oi].Key < newCol.Blocks[ni].Key):
+			stats.BlocksRemoved++
+			note(&oldCol.Blocks[oi], oldCol)
+			oi++
+		case oi == len(oldCol.Blocks) || newCol.Blocks[ni].Key < oldCol.Blocks[oi].Key:
+			stats.BlocksAdded++
+			note(&newCol.Blocks[ni], newCol)
+			ni++
+		default: // same key
+			if !sameInts(oldCol.Blocks[oi].Entities, newCol.Blocks[ni].Entities) {
+				stats.BlocksChanged++
+				note(&oldCol.Blocks[oi], oldCol)
+				note(&newCol.Blocks[ni], newCol)
+			}
+			oi++
+			ni++
+		}
+	}
+	stats.EdgesTouched = len(touched)
+
+	numNodes := newCol.Source.Len()
+	// Per-node block counts and the block total are integer recounts
+	// over the new collection — exact in any order, linear work.
+	g.NumNodes = numNodes
+	g.nBlock = newCol.NumBlocks()
+	g.blocks = make([]int32, numNodes)
+	for i := range newCol.Blocks {
+		for _, id := range newCol.Blocks[i].Entities {
+			g.blocks[id]++
+		}
+	}
+
+	if len(touched) > 0 {
+		g.applyTouched(newCol, touched)
+	}
+
+	// Degrees are integer recounts over the merged edge list.
+	g.degree = make([]int32, numNodes)
+	for i := range g.Edges {
+		g.degree[g.Edges[i].A]++
+		g.degree[g.Edges[i].B]++
+	}
+	return stats
+}
+
+// applyTouched recomputes every touched edge's statistics from the new
+// collection and merges the results into the sorted edge arrays.
+func (g *Graph) applyTouched(newCol *blocking.Collection, touched map[uint64]struct{}) {
+	// Canonical recomputation needs, per touched edge, the blocks
+	// containing both endpoints in ascending block order — the order
+	// Build folds evidence in. The entity→blocks index and per-block
+	// comparison counts are linear to build.
+	idx := newCol.EntityIndex()
+	inv := make([]float64, len(newCol.Blocks))
+	for bi := range newCol.Blocks {
+		if cmp := newCol.Blocks[bi].Comparisons(newCol.Source, newCol.CleanClean); cmp > 0 {
+			inv[bi] = 1 / float64(cmp)
+		}
+	}
+
+	keys := make([]uint64, 0, len(touched))
+	for k := range touched {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// Recompute each touched edge: intersect the endpoints' block lists
+	// (both ascending) and fold 1/||b|| per common block in block order
+	// — the exact float accumulation sequence a from-scratch Build
+	// performs for that edge, since each edge's accumulator only ever
+	// receives its own terms.
+	newRecs := make([]edgeStat, 0, len(keys))
+	for _, k := range keys {
+		a, b := int32(k>>32), int32(uint32(k))
+		rec := edgeStat{a: a, b: b}
+		ba, bb := idx[a], idx[b]
+		x, y := 0, 0
+		for x < len(ba) && y < len(bb) {
+			switch {
+			case ba[x] < bb[y]:
+				x++
+			case ba[x] > bb[y]:
+				y++
+			default:
+				rec.common++
+				rec.arcs += inv[ba[x]]
+				x++
+				y++
+			}
+		}
+		newRecs = append(newRecs, rec)
+	}
+
+	// Merge into the sorted arrays: untouched edges are copied through,
+	// touched edges are replaced (or dropped when their evidence
+	// vanished), new edges are inserted at their sorted position.
+	edges := make([]Edge, 0, len(g.Edges)+len(newRecs))
+	common := make([]int, 0, cap(edges))
+	arcs := make([]float64, 0, cap(edges))
+	ei, ri := 0, 0
+	emit := func(a, b int32, c int32, s float64) {
+		edges = append(edges, Edge{A: int(a), B: int(b)})
+		common = append(common, int(c))
+		arcs = append(arcs, s)
+	}
+	for ei < len(g.Edges) || ri < len(newRecs) {
+		var ek uint64
+		if ei < len(g.Edges) {
+			ek = edgeKey(int32(g.Edges[ei].A), int32(g.Edges[ei].B))
+		}
+		switch {
+		case ri == len(newRecs) || (ei < len(g.Edges) && ek < keys[ri]):
+			if _, isTouched := touched[ek]; isTouched {
+				// Replaced or dropped below — cannot happen: touched
+				// existing edges always compare equal to their key.
+				panic("metablocking: touched edge out of merge order")
+			}
+			emit(int32(g.Edges[ei].A), int32(g.Edges[ei].B), int32(g.common[ei]), g.arcs[ei])
+			ei++
+		case ei == len(g.Edges) || keys[ri] < ek:
+			r := &newRecs[ri]
+			if r.common > 0 {
+				emit(r.a, r.b, r.common, r.arcs)
+			}
+			ri++
+		default: // same edge: recomputed stats win
+			r := &newRecs[ri]
+			if r.common > 0 {
+				emit(r.a, r.b, r.common, r.arcs)
+			}
+			ei++
+			ri++
+		}
+	}
+	g.Edges, g.common, g.arcs = edges, common, arcs
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

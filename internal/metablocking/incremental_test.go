@@ -1,0 +1,194 @@
+package metablocking
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/datagen"
+	"repro/internal/kb"
+	"repro/internal/tokenize"
+)
+
+// graphsIdentical asserts got equals want bit for bit: the same edges
+// in the same order with identical float statistics and weights, and
+// identical node aggregates — the contract that makes an incremental
+// update indistinguishable from a from-scratch Build.
+func graphsIdentical(t *testing.T, label string, want, got *Graph) {
+	t.Helper()
+	if got.NumNodes != want.NumNodes || got.nBlock != want.nBlock {
+		t.Fatalf("%s: nodes/blocks = (%d,%d), want (%d,%d)", label, got.NumNodes, got.nBlock, want.NumNodes, want.nBlock)
+	}
+	if len(got.Edges) != len(want.Edges) {
+		t.Fatalf("%s: %d edges, want %d", label, len(got.Edges), len(want.Edges))
+	}
+	for i := range want.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			t.Fatalf("%s: edge %d = %+v, want %+v", label, i, got.Edges[i], want.Edges[i])
+		}
+		if got.common[i] != want.common[i] {
+			t.Fatalf("%s: edge %d common = %d, want %d", label, i, got.common[i], want.common[i])
+		}
+		if got.arcs[i] != want.arcs[i] {
+			t.Fatalf("%s: edge %d arcs = %v, want %v (not bit-identical)", label, i, got.arcs[i], want.arcs[i])
+		}
+	}
+	for id := 0; id < want.NumNodes; id++ {
+		if got.blocks[id] != want.blocks[id] {
+			t.Fatalf("%s: node %d blocks = %d, want %d", label, id, got.blocks[id], want.blocks[id])
+		}
+		if got.degree[id] != want.degree[id] {
+			t.Fatalf("%s: node %d degree = %d, want %d", label, id, got.degree[id], want.degree[id])
+		}
+	}
+}
+
+// interleaved returns src's description ids reordered round-robin
+// across KBs, so every growth prefix spans all KBs — the steady-state
+// streaming shape (the single-KB → clean–clean flip has its own test).
+func interleaved(src *kb.Collection) []int {
+	perKB := make([][]int, src.NumKBs())
+	for id := 0; id < src.Len(); id++ {
+		k := src.KBOf(id)
+		perKB[k] = append(perKB[k], id)
+	}
+	var out []int
+	for i := 0; len(out) < src.Len(); i++ {
+		for _, ids := range perKB {
+			if i < len(ids) {
+				out = append(out, ids[i])
+			}
+		}
+	}
+	return out
+}
+
+// prefixCollection copies the first n descriptions of order into a
+// fresh collection — the corpus as it looked before the last ingest
+// batch.
+func prefixCollection(t *testing.T, src *kb.Collection, order []int, n int) *kb.Collection {
+	t.Helper()
+	out := kb.NewCollection()
+	for _, id := range order[:n] {
+		d := src.Desc(id)
+		out.Add(&kb.Description{URI: d.URI, KB: d.KB, Types: d.Types, Attrs: d.Attrs, Links: d.Links})
+	}
+	if out.Len() != n {
+		t.Fatalf("prefix collapsed: %d descriptions, want %d", out.Len(), n)
+	}
+	return out
+}
+
+// cleanedBlocks runs the front-end cleaning chain the pipeline applies
+// before graph construction.
+func cleanedBlocks(src *kb.Collection) *blocking.Collection {
+	col := blocking.TokenBlocking(src, tokenize.Default())
+	return col.Purge(0).Filter(0.8)
+}
+
+// TestUpdateMatchesRebuild grows a corpus in cuts and checks that
+// updating the graph incrementally at each cut is bit-identical to
+// rebuilding it from scratch, for every weighting scheme, with and
+// without block cleaning.
+func TestUpdateMatchesRebuild(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(77, 160, datagen.Center(), datagen.Periphery()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := w.Collection
+	order := interleaved(full)
+	cuts := []int{full.Len() / 3, full.Len() * 2 / 3, full.Len() - 1, full.Len()}
+	for _, clean := range []bool{false, true} {
+		blocksOf := func(src *kb.Collection) *blocking.Collection {
+			if clean {
+				return cleanedBlocks(src)
+			}
+			return blocking.TokenBlocking(src, tokenize.Default())
+		}
+		for _, scheme := range Schemes() {
+			t.Run(fmt.Sprintf("clean=%v/%v", clean, scheme), func(t *testing.T) {
+				prev := prefixCollection(t, full, order, cuts[0])
+				prevBlocks := blocksOf(prev)
+				g := Build(prevBlocks, scheme)
+				for _, cut := range cuts[1:] {
+					cur := prefixCollection(t, full, order, cut)
+					curBlocks := blocksOf(cur)
+					stats := g.Update(prevBlocks, curBlocks, scheme)
+					if stats.Rebuilt {
+						t.Fatalf("cut %d: unexpected full rebuild", cut)
+					}
+					graphsIdentical(t, fmt.Sprintf("cut %d", cut), Build(curBlocks, scheme), g)
+					prevBlocks = curBlocks
+				}
+			})
+		}
+	}
+}
+
+// TestUpdateTouchesOnlyDelta pins the efficiency contract: a small
+// ingest batch touches a small neighborhood of the graph, not the
+// whole edge set.
+func TestUpdateTouchesOnlyDelta(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(78, 300, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := w.Collection
+	order := interleaved(full)
+	n := full.Len()
+	prev := prefixCollection(t, full, order, n-4)
+	prevBlocks := cleanedBlocks(prev)
+	g := Build(prevBlocks, ECBS)
+	curBlocks := cleanedBlocks(prefixCollection(t, full, order, n))
+	stats := g.Update(prevBlocks, curBlocks, ECBS)
+	if stats.Rebuilt {
+		t.Fatal("unexpected full rebuild")
+	}
+	if stats.EdgesTouched == 0 {
+		t.Fatal("ingest touched no edges — workload too easy to mean anything")
+	}
+	if total := g.NumEdges(); stats.EdgesTouched >= total/2 {
+		t.Fatalf("ingesting 4 of %d descriptions touched %d of %d edges — not delta-proportional",
+			n, stats.EdgesTouched, total)
+	}
+	graphsIdentical(t, "delta", Build(curBlocks, ECBS), g)
+}
+
+// TestUpdateCleanCleanFlip covers the documented fallback: when the
+// second KB arrives, the pair semantics of every block change and the
+// update degrades to one full rebuild — still bit-identical.
+func TestUpdateCleanCleanFlip(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(79, 80, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := w.Collection
+	// In natural insertion order the first KB's descriptions precede
+	// the second's; find the single-KB prefix.
+	identity := make([]int, full.Len())
+	for i := range identity {
+		identity[i] = i
+	}
+	oneKB := 1
+	for oneKB < full.Len() && full.KBOf(oneKB) == full.KBOf(0) {
+		oneKB++
+	}
+	if oneKB < 2 || oneKB == full.Len() {
+		t.Skip("generator produced no usable single-KB prefix")
+	}
+	prev := prefixCollection(t, full, identity, oneKB)
+	prevBlocks := blocking.TokenBlocking(prev, tokenize.Default())
+	if prevBlocks.CleanClean {
+		t.Fatal("prefix unexpectedly clean–clean")
+	}
+	g := Build(prevBlocks, ECBS)
+	curBlocks := blocking.TokenBlocking(full, tokenize.Default())
+	if !curBlocks.CleanClean {
+		t.Fatal("full collection unexpectedly dirty")
+	}
+	stats := g.Update(prevBlocks, curBlocks, ECBS)
+	if !stats.Rebuilt {
+		t.Fatal("clean–clean flip must trigger a full rebuild")
+	}
+	graphsIdentical(t, "flip", Build(curBlocks, ECBS), g)
+}

@@ -1,0 +1,226 @@
+package parblock
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/blocking"
+	"repro/internal/mapreduce"
+)
+
+// Block cleaning as MapReduce dataflow jobs, completing the cluster
+// realization of the front-end: the paper's companion dataflow ([4])
+// defines blocking, edge weighting, and node-centric pruning, and the
+// purge/filter steps between them follow the same discipline here —
+// block-keyed and entity-keyed passes whose shuffle order reproduces
+// the sequential results exactly.
+
+// Purge removes oversized blocks as a dataflow. With an automatic cap
+// (maxSize ≤ 0) a histogram job aggregates block-size counts first —
+// the same merged histogram the sequential AutoPurgeSize computes, so
+// the cap is identical. The keep pass routes each surviving block by
+// its padded index; the shuffle's key order is the original block
+// order, so the output collection equals Collection.Purge.
+func Purge(col *blocking.Collection, maxSize int, cfg mapreduce.Config) (*blocking.Collection, error) {
+	inputs := make([]string, len(col.Blocks))
+	for i := range inputs {
+		inputs[i] = strconv.Itoa(i)
+	}
+	if maxSize <= 0 {
+		hist := mapreduce.Job{
+			Name: "purge-histogram",
+			Map: func(input string, emit func(mapreduce.KV)) error {
+				bi, err := strconv.Atoi(input)
+				if err != nil {
+					return fmt.Errorf("bad block record %q: %w", input, err)
+				}
+				emit(mapreduce.KV{Key: pad(col.Blocks[bi].Size()), Value: "1"})
+				return nil
+			},
+			Combine: sumValues,
+			Reduce:  sumValues,
+		}
+		res, err := mapreduce.Run(hist, inputs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sizes := make(map[int]int, len(res.Output))
+		for _, kv := range res.Output {
+			size, err := unpad(kv.Key)
+			if err != nil {
+				return nil, fmt.Errorf("parblock: bad size key %q: %w", kv.Key, err)
+			}
+			cnt, err := strconv.Atoi(kv.Value)
+			if err != nil {
+				return nil, fmt.Errorf("parblock: bad size count %q: %w", kv.Value, err)
+			}
+			sizes[size] = cnt
+		}
+		maxSize = blocking.AutoPurgeSizeFromHistogram(sizes)
+	}
+
+	keep := mapreduce.Job{
+		Name: "purge-keep",
+		Map: func(input string, emit func(mapreduce.KV)) error {
+			bi, err := strconv.Atoi(input)
+			if err != nil {
+				return fmt.Errorf("bad block record %q: %w", input, err)
+			}
+			if col.Blocks[bi].Size() <= maxSize {
+				emit(mapreduce.KV{Key: pad(bi), Value: ""})
+			}
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
+			emit(mapreduce.KV{Key: key, Value: ""})
+			return nil
+		},
+	}
+	res, err := mapreduce.Run(keep, inputs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &blocking.Collection{Source: col.Source, CleanClean: col.CleanClean}
+	for _, kv := range res.Output {
+		bi, err := unpad(kv.Key)
+		if err != nil {
+			return nil, fmt.Errorf("parblock: bad block key %q: %w", kv.Key, err)
+		}
+		out.Blocks = append(out.Blocks, col.Blocks[bi])
+	}
+	return out, nil
+}
+
+// sumValues is the integer-sum reducer/combiner.
+func sumValues(key string, values []string, emit func(mapreduce.KV)) error {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad count %q: %w", v, err)
+		}
+		total += n
+	}
+	emit(mapreduce.KV{Key: key, Value: strconv.Itoa(total)})
+	return nil
+}
+
+// Filter applies block filtering as two dataflow jobs. The rank job
+// sorts blocks by (size, index) through the shuffle — the engine's
+// globally sorted output is the total size-rank order the sequential
+// Filter uses. The assignment job routes every entity's placements to
+// that entity's reducer, which keeps the ⌈ratio·n⌉ smallest-ranked
+// ones (its value list arrives rank-sorted) and re-emits them keyed by
+// block; the driver reassembles the surviving blocks in block order.
+// Identical to Collection.Filter for any worker count.
+func Filter(col *blocking.Collection, ratio float64, cfg mapreduce.Config) (*blocking.Collection, error) {
+	if ratio <= 0 || ratio > 1 {
+		ratio = 0.8
+	}
+	inputs := make([]string, len(col.Blocks))
+	for i := range inputs {
+		inputs[i] = strconv.Itoa(i)
+	}
+
+	rankJob := mapreduce.Job{
+		Name: "filter-rank",
+		Map: func(input string, emit func(mapreduce.KV)) error {
+			bi, err := strconv.Atoi(input)
+			if err != nil {
+				return fmt.Errorf("bad block record %q: %w", input, err)
+			}
+			emit(mapreduce.KV{Key: pad(col.Blocks[bi].Size()) + "|" + pad(bi), Value: ""})
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
+			emit(mapreduce.KV{Key: key, Value: ""})
+			return nil
+		},
+	}
+	ranked, err := mapreduce.Run(rankJob, inputs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]int, len(col.Blocks))
+	for r, kv := range ranked.Output {
+		sep := strings.IndexByte(kv.Key, '|')
+		if sep < 0 {
+			return nil, fmt.Errorf("parblock: bad rank key %q", kv.Key)
+		}
+		bi, err := unpad(kv.Key[sep+1:])
+		if err != nil {
+			return nil, fmt.Errorf("parblock: bad rank key %q: %w", kv.Key, err)
+		}
+		rank[bi] = r
+	}
+
+	assignJob := mapreduce.Job{
+		Name: "filter-assign",
+		Map: func(input string, emit func(mapreduce.KV)) error {
+			bi, err := strconv.Atoi(input)
+			if err != nil {
+				return fmt.Errorf("bad block record %q: %w", input, err)
+			}
+			for _, id := range col.Blocks[bi].Entities {
+				emit(mapreduce.KV{Key: pad(id), Value: pad(rank[bi]) + "|" + pad(bi)})
+			}
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
+			// Values are "rank|block" with fixed-width ranks: the
+			// shuffle's string sort is the ascending rank order, so the
+			// first ⌈ratio·n⌉ are exactly the blocks the sequential
+			// Filter keeps for this entity.
+			limit := blocking.FilterLimit(ratio, len(values))
+			for _, v := range values[:limit] {
+				sep := strings.IndexByte(v, '|')
+				if sep < 0 {
+					return fmt.Errorf("bad assignment %q", v)
+				}
+				emit(mapreduce.KV{Key: v[sep+1:], Value: key})
+			}
+			return nil
+		},
+	}
+	res, err := mapreduce.Run(assignJob, inputs, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Output arrives sorted by (block, entity) — the rebuild order.
+	out := &blocking.Collection{Source: col.Source, CleanClean: col.CleanClean}
+	flush := func(bi int, members []int) {
+		if len(members) < 2 {
+			return
+		}
+		nb := blocking.Block{Key: col.Blocks[bi].Key, Entities: members}
+		if nb.Comparisons(col.Source, col.CleanClean) == 0 {
+			return
+		}
+		out.Blocks = append(out.Blocks, nb)
+	}
+	curBlock := -1
+	var members []int
+	for _, kv := range res.Output {
+		bi, err := unpad(kv.Key)
+		if err != nil {
+			return nil, fmt.Errorf("parblock: bad filtered block key %q: %w", kv.Key, err)
+		}
+		id, err := unpad(kv.Value)
+		if err != nil {
+			return nil, fmt.Errorf("parblock: bad filtered entity %q: %w", kv.Value, err)
+		}
+		if bi != curBlock {
+			if curBlock >= 0 {
+				flush(curBlock, members)
+			}
+			curBlock, members = bi, nil
+		}
+		members = append(members, id)
+	}
+	if curBlock >= 0 {
+		flush(curBlock, members)
+	}
+	return out, nil
+}

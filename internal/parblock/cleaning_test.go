@@ -1,0 +1,95 @@
+package parblock
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/mapreduce"
+	"repro/internal/tokenize"
+)
+
+func sameBlocks(t *testing.T, label string, want, got *blocking.Collection) {
+	t.Helper()
+	if got.CleanClean != want.CleanClean {
+		t.Fatalf("%s: CleanClean=%v, want %v", label, got.CleanClean, want.CleanClean)
+	}
+	if got.NumBlocks() != want.NumBlocks() {
+		t.Fatalf("%s: %d blocks, want %d", label, got.NumBlocks(), want.NumBlocks())
+	}
+	for i := range want.Blocks {
+		if got.Blocks[i].Key != want.Blocks[i].Key ||
+			!reflect.DeepEqual(got.Blocks[i].Entities, want.Blocks[i].Entities) {
+			t.Fatalf("%s: block %d differs: %v vs %v", label, i, got.Blocks[i], want.Blocks[i])
+		}
+	}
+}
+
+// TestDataflowPurgeMatchesSequential runs the purge dataflow — with
+// automatic and explicit caps — against the sequential reference for
+// several worker counts on both ER settings.
+func TestDataflowPurgeMatchesSequential(t *testing.T) {
+	w := workload(t, 61, 150)
+	raw := blocking.TokenBlocking(w.Collection, tokenize.Default())
+	for _, maxSize := range []int{0, 3, 25} {
+		want := raw.Purge(maxSize)
+		for _, workers := range []int{1, 3, 8} {
+			label := fmt.Sprintf("purge=%d/workers=%d", maxSize, workers)
+			got, err := Purge(raw, maxSize, mapreduce.Config{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			sameBlocks(t, label, want, got)
+		}
+	}
+}
+
+// TestDataflowFilterMatchesSequential runs the two filter jobs against
+// the sequential reference for several ratios and worker counts.
+func TestDataflowFilterMatchesSequential(t *testing.T) {
+	w := workload(t, 62, 150)
+	purged := blocking.TokenBlocking(w.Collection, tokenize.Default()).Purge(0)
+	for _, ratio := range []float64{0.5, 0.8, 1.0} {
+		want := purged.Filter(ratio)
+		for _, workers := range []int{1, 3, 8} {
+			label := fmt.Sprintf("filter=%.1f/workers=%d", ratio, workers)
+			got, err := Filter(purged, ratio, mapreduce.Config{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			sameBlocks(t, label, want, got)
+		}
+	}
+}
+
+// TestDataflowCleaningChain chains purge and filter the way the engine
+// runs them and checks the end state, including an empty collection.
+func TestDataflowCleaningChain(t *testing.T) {
+	w := workload(t, 63, 120)
+	raw := blocking.TokenBlocking(w.Collection, tokenize.Default())
+	want := raw.Purge(0).Filter(0.8)
+	cfg := mapreduce.Config{Workers: 4}
+	purged, err := Purge(raw, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Filter(purged, 0.8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBlocks(t, "chain", want, got)
+
+	empty := &blocking.Collection{Source: w.Collection, CleanClean: true}
+	ep, err := Purge(empty, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := Filter(ep, 0.8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef.NumBlocks() != 0 {
+		t.Fatalf("empty collection produced %d blocks", ef.NumBlocks())
+	}
+}

@@ -247,6 +247,20 @@ func Build(col *blocking.Collection, scheme metablocking.Scheme, workers int) *m
 	return g
 }
 
+// Update applies an incremental block-collection delta to the graph —
+// Graph.Update's contract, bit-identical to a from-scratch Build over
+// newCol — with the global reweigh pass sharded across workers. The
+// structural diff itself is the sequential reference: its cost is
+// proportional to the delta, so the linear reweigh is what parallelism
+// buys back.
+func Update(g *metablocking.Graph, oldCol, newCol *blocking.Collection, scheme metablocking.Scheme, workers int) metablocking.UpdateStats {
+	stats := g.UpdateStructure(oldCol, newCol, scheme)
+	if !stats.Rebuilt {
+		Reweigh(g, scheme, workers)
+	}
+	return stats
+}
+
 // Reweigh recomputes edge weights under a different scheme, sharding
 // the edge range across workers. Identical to Graph.Reweigh for any
 // worker count.

@@ -1,0 +1,256 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/blocking"
+	"repro/internal/kb"
+	"repro/internal/metablocking"
+)
+
+// State is the resumable front-end of a streaming resolution session:
+// everything an engine needs to fold newly arrived descriptions into
+// the blocking and meta-blocking results without redoing the
+// superlinear work. Start builds it; Engine.Ingest advances it.
+//
+// The state owns the full inverted token index (postings for every
+// token, including singletons that induce no block yet — a later batch
+// can grow them into real blocks), the last cleaned block collection
+// (the diff baseline for the incremental graph update), and the live
+// blocking graph. Front always holds the latest front-end outputs; it
+// is equal — bit for bit on the sequential and shared engines — to
+// what a from-scratch Run over the same source would return.
+type State struct {
+	// Front is the latest front-end result: the cleaned blocks, the
+	// blocking graph, and the pruned comparisons in scheduling order.
+	Front *FrontEnd
+	// LastUpdate reports the most recent ingest's incremental graph
+	// work — the evidence it stayed proportional to the delta.
+	LastUpdate metablocking.UpdateStats
+
+	src *kb.Collection
+	opt Options
+	n   int // source descriptions folded in so far
+
+	// postings maps each token to the ascending ids that carry it —
+	// the raw inverted index blocking assembles blocks from. Slices
+	// are append-only: mid-list insertion (a merged description gaining
+	// a token) copies, because cleaned blocks may alias the backing
+	// arrays.
+	postings map[string][]int
+	keys     []string // sorted distinct tokens
+
+	// pendingMerged carries merged-description ids taken from the
+	// source by an ingest that later failed, so a retry still splices
+	// them in (splicing is idempotent — ids insert only if absent).
+	pendingMerged []int
+
+	cleaned *blocking.Collection // diff baseline for the graph update
+}
+
+// InSync reports that the state already covers every description and
+// merge in its source — an ingest now would be a no-op.
+func (st *State) InSync() bool {
+	return st.src.Len() == st.n && !st.src.HasMerged() && len(st.pendingMerged) == 0
+}
+
+// Covered returns how many source descriptions the state has folded in.
+func (st *State) Covered() int { return st.n }
+
+// Start runs a full front-end pass through the engine and returns the
+// resumable state, with Front holding the pass's outputs. Descriptions
+// added to src afterwards are folded in by Engine.Ingest. The
+// streaming index is built lazily on the first real ingest, so
+// sessions that never stream pay nothing for it.
+func Start(e Engine, src *kb.Collection, opt Options) (*State, error) {
+	fe, err := Run(e, src, opt)
+	if err != nil {
+		return nil, err
+	}
+	st := &State{
+		Front:   fe,
+		src:     src,
+		opt:     opt,
+		n:       src.Len(),
+		cleaned: fe.Blocks,
+	}
+	src.TakeMerged() // the full pass covered every description
+	return st, nil
+}
+
+// buildIndex materializes the raw inverted index over the
+// descriptions covered so far — including singleton postings, which a
+// later batch can grow into real blocks. Runs once, on the first real
+// ingest; the token cache is hot after Start's blocking pass, so this
+// is one scan.
+func (st *State) buildIndex() {
+	st.postings = make(map[string][]int)
+	for id := 0; id < st.n; id++ {
+		for _, tok := range st.src.Tokens(id, st.opt.Tokenize) {
+			if _, seen := st.postings[tok]; !seen {
+				st.keys = append(st.keys, tok)
+			}
+			st.postings[tok] = append(st.postings[tok], id)
+		}
+	}
+	sort.Strings(st.keys)
+}
+
+// ingest is the incremental front-end pass shared by every engine:
+// delta tokenization, append-only extension of the inverted index,
+// re-assembly of the raw blocks (linear), engine-dispatched cleaning,
+// the delta graph update (via the engine's update hook — structural
+// diff plus a full reweigh), and engine-dispatched pruning. warm
+// optionally pre-fills the source's token cache in parallel.
+func ingest(e Engine, st *State, warm func(),
+	update func(g *metablocking.Graph, oldCol, newCol *blocking.Collection) metablocking.UpdateStats) error {
+	n := st.src.Len()
+	if n < st.n {
+		return fmt.Errorf("pipeline(%s): ingest: source shrank from %d to %d descriptions", e.Name(), st.n, n)
+	}
+	merged := append(st.src.TakeMerged(), st.pendingMerged...)
+	st.pendingMerged = merged // restored to nil only when the pass commits
+	if n == st.n && len(merged) == 0 {
+		return nil // nothing arrived: the state is already current
+	}
+	if warm != nil {
+		warm()
+	}
+	if st.postings == nil {
+		st.buildIndex()
+	}
+
+	// Extend the inverted index into an overlay: st.postings and
+	// st.keys are only written at commit time, after every fallible
+	// stage has succeeded, so a failed ingest leaves the state intact
+	// and retryable. (Appending to a posting may write into shared
+	// spare capacity beyond the committed slice's length — invisible to
+	// the committed state, and a retry overwrites the same slots.)
+	upd := make(map[string][]int)
+	look := func(tok string) ([]int, bool) {
+		if p, ok := upd[tok]; ok {
+			return p, true
+		}
+		p, ok := st.postings[tok]
+		return p, ok
+	}
+	// New ids append in ascending order, so postings stay sorted and
+	// duplicate-free without re-sorting.
+	var newKeys []string
+	for id := st.n; id < n; id++ {
+		for _, tok := range st.src.Tokens(id, st.opt.Tokenize) {
+			p, seen := look(tok)
+			if !seen {
+				newKeys = append(newKeys, tok)
+			}
+			upd[tok] = append(p, id)
+		}
+	}
+	// Merged descriptions only ever gain tokens; splice their id into
+	// the postings of tokens they did not carry before.
+	for _, id := range merged {
+		if id >= st.n {
+			continue // new since the last pass: already fully indexed
+		}
+		for _, tok := range st.src.Tokens(id, st.opt.Tokenize) {
+			p, seen := look(tok)
+			if !seen {
+				newKeys = append(newKeys, tok)
+				upd[tok] = []int{id}
+				continue
+			}
+			at := sort.SearchInts(p, id)
+			if at < len(p) && p[at] == id {
+				continue // already indexed under this token
+			}
+			// Copy-on-insert: cleaned blocks may alias the old backing.
+			np := make([]int, 0, len(p)+1)
+			np = append(np, p[:at]...)
+			np = append(np, id)
+			np = append(np, p[at:]...)
+			upd[tok] = np
+		}
+	}
+	keys := st.keys
+	if len(newKeys) > 0 {
+		sort.Strings(newKeys)
+		keys = mergeKeys(st.keys, newKeys)
+	}
+
+	// Re-assemble the raw blocks from the index — identical to a
+	// from-scratch token blocking over the source, in linear time.
+	raw := &blocking.Collection{Source: st.src, CleanClean: st.src.NumKBs() > 1}
+	for _, tok := range keys {
+		ids, _ := look(tok)
+		if len(ids) < 2 {
+			continue
+		}
+		b := blocking.Block{Key: tok, Entities: ids}
+		if b.Comparisons(st.src, raw.CleanClean) == 0 {
+			continue
+		}
+		raw.Blocks = append(raw.Blocks, b)
+	}
+
+	// Cleaning is global (the purge cap and filter ranks shift with
+	// every batch) but linear; it dispatches through the engine.
+	col := raw
+	var err error
+	if st.opt.PurgeMaxBlockSize >= 0 {
+		if col, err = e.Purge(col, st.opt.PurgeMaxBlockSize); err != nil {
+			return fmt.Errorf("pipeline(%s): ingest purge: %w", e.Name(), err)
+		}
+	}
+	if st.opt.FilterRatio > 0 {
+		if col, err = e.Filter(col, st.opt.FilterRatio); err != nil {
+			return fmt.Errorf("pipeline(%s): ingest filter: %w", e.Name(), err)
+		}
+	}
+
+	// Delta graph update: only edges incident to changed blocks are
+	// recomputed; weights are refreshed globally. The update mutates
+	// the graph in place, so the diff baseline advances with it, in the
+	// same step — if pruning below fails, a retry diffs from the
+	// collection this graph actually reflects.
+	g := st.Front.Graph
+	st.LastUpdate = update(g, st.cleaned, col)
+	st.cleaned = col
+	edges, err := e.Prune(g, st.opt.Pruning, metablocking.PruneOptions{
+		Reciprocal:  st.opt.Reciprocal,
+		Assignments: col.Assignments(),
+	})
+	if err != nil {
+		return fmt.Errorf("pipeline(%s): ingest pruning: %w", e.Name(), err)
+	}
+
+	// Commit: every fallible stage succeeded. (The index overlay is
+	// discarded on any earlier error; a retry rebuilds it from the
+	// committed postings, so a failed ingest is always retryable.)
+	for tok, p := range upd {
+		st.postings[tok] = p
+	}
+	st.keys = keys
+	st.pendingMerged = nil
+	st.n = n
+	st.Front = &FrontEnd{Blocks: col, Graph: g, Edges: edges}
+	return nil
+}
+
+// mergeKeys merges two sorted, disjoint key slices.
+func mergeKeys(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,228 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/datagen"
+	"repro/internal/kb"
+	"repro/internal/metablocking"
+	"repro/internal/tokenize"
+)
+
+// interleavedIDs reorders src's ids round-robin across KBs so every
+// ingest batch spans all KBs (the steady-state streaming shape).
+func interleavedIDs(src *kb.Collection) []int {
+	perKB := make([][]int, src.NumKBs())
+	for id := 0; id < src.Len(); id++ {
+		perKB[src.KBOf(id)] = append(perKB[src.KBOf(id)], id)
+	}
+	var out []int
+	for i := 0; len(out) < src.Len(); i++ {
+		for _, ids := range perKB {
+			if i < len(ids) {
+				out = append(out, ids[i])
+			}
+		}
+	}
+	return out
+}
+
+func copyDesc(d *kb.Description) *kb.Description {
+	return &kb.Description{URI: d.URI, KB: d.KB, Types: d.Types, Attrs: d.Attrs, Links: d.Links}
+}
+
+// addRange copies descriptions order[lo:hi] of full into dst.
+func addRange(dst, full *kb.Collection, order []int, lo, hi int) {
+	for _, id := range order[lo:hi] {
+		dst.Add(copyDesc(full.Desc(id)))
+	}
+}
+
+// TestIngestMatchesFromScratch is the front-end half of the streaming
+// equivalence guarantee: growing a source collection through
+// Engine.Ingest in K batches leaves the state's Front equal to a
+// from-scratch Run over the same corpus — bit-identically on the
+// sequential and shared engines, within the documented float round-off
+// on MapReduce — for every batch split and engine.
+func TestIngestMatchesFromScratch(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(421, 180, datagen.Center(), datagen.Periphery()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := w.Collection
+	order := interleavedIDs(full)
+	opt := Options{
+		Tokenize:    tokenize.Default(),
+		FilterRatio: 0.8,
+		Scheme:      metablocking.ECBS,
+		Pruning:     metablocking.WNP,
+	}
+	engines := []struct {
+		name  string
+		e     Engine
+		exact bool
+	}{
+		{"sequential", Sequential{}, true},
+		{"shared-2", Shared{Workers: 2}, true},
+		{"shared-4", Shared{Workers: 4}, true},
+		{"mapreduce-2", MapReduce{Workers: 2}, false},
+	}
+	for _, k := range []int{2, 3, 5} {
+		for _, eng := range engines {
+			label := fmt.Sprintf("K=%d/%s", k, eng.name)
+			t.Run(label, func(t *testing.T) {
+				grown := kb.NewCollection()
+				n := full.Len()
+				addRange(grown, full, order, 0, n/k)
+				st, err := Start(eng.e, grown, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for b := 1; b <= k; b++ {
+					lo, hi := b*n/k, (b+1)*n/k
+					if b == k {
+						hi = n
+					}
+					if lo < hi {
+						addRange(grown, full, order, lo, hi)
+					}
+					if err := eng.e.Ingest(st); err != nil {
+						t.Fatal(err)
+					}
+					// The oracle: a from-scratch pass over an identical
+					// corpus on the same engine.
+					scratch := kb.NewCollection()
+					addRange(scratch, full, order, 0, grown.Len())
+					want, err := Run(eng.e, scratch, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameCollection(t, label, want.Blocks, st.Front.Blocks)
+					sameEdges(t, want.Edges, st.Front.Edges, eng.exact)
+					if st.Covered() != grown.Len() {
+						t.Fatalf("state covers %d descriptions, want %d", st.Covered(), grown.Len())
+					}
+				}
+				// Across engines the final state must also match the
+				// sequential reference.
+				wantSeq, err := Run(Sequential{}, grown, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameCollection(t, label+"/vs-sequential", wantSeq.Blocks, st.Front.Blocks)
+				sameEdges(t, wantSeq.Edges, st.Front.Edges, eng.exact)
+			})
+		}
+	}
+}
+
+// TestIngestMergedDescriptions covers the merge path: re-adding an
+// existing KB+URI during an ingest batch extends the description, and
+// the spliced inverted index still reproduces the from-scratch state.
+func TestIngestMergedDescriptions(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(422, 90, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := w.Collection
+	order := interleavedIDs(full)
+	opt := Options{
+		Tokenize:    tokenize.Default(),
+		FilterRatio: 0.8,
+		Scheme:      metablocking.ARCS,
+		Pruning:     metablocking.CNP,
+	}
+	n := full.Len()
+	extend := func(col *kb.Collection) {
+		// Extend three early descriptions with fresh attribute values —
+		// new tokens that must be spliced into existing postings.
+		for i, id := range []int{0, 1, 2} {
+			d := full.Desc(order[id])
+			col.Add(&kb.Description{URI: d.URI, KB: d.KB, Attrs: []kb.Attribute{
+				{Predicate: "late", Value: fmt.Sprintf("lateinfo extranote%d", i)},
+			}})
+		}
+	}
+	for _, eng := range []Engine{Sequential{}, Shared{Workers: 4}} {
+		t.Run(eng.Name(), func(t *testing.T) {
+			grown := kb.NewCollection()
+			addRange(grown, full, order, 0, n/2)
+			st, err := Start(eng, grown, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addRange(grown, full, order, n/2, n)
+			extend(grown)
+			if err := eng.Ingest(st); err != nil {
+				t.Fatal(err)
+			}
+			scratch := kb.NewCollection()
+			addRange(scratch, full, order, 0, n)
+			extend(scratch)
+			want, err := Run(eng, scratch, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameCollection(t, eng.Name(), want.Blocks, st.Front.Blocks)
+			sameEdges(t, want.Edges, st.Front.Edges, true)
+		})
+	}
+}
+
+// TestIngestNothingNew checks the degenerate ingest: no additions
+// since the last pass leaves the front-end unchanged.
+func TestIngestNothingNew(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(423, 60, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Tokenize: tokenize.Default(), FilterRatio: 0.8,
+		Scheme: metablocking.ECBS, Pruning: metablocking.WNP}
+	st, err := Start(Sequential{}, w.Collection, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Front
+	if err := (Sequential{}).Ingest(st); err != nil {
+		t.Fatal(err)
+	}
+	sameCollection(t, "no-op", before.Blocks, st.Front.Blocks)
+	sameEdges(t, before.Edges, st.Front.Edges, true)
+}
+
+// TestIngestSingletonGrowth pins the reason the state keeps singleton
+// postings: a token carried by one description must become a real
+// block when a later batch brings its second carrier.
+func TestIngestSingletonGrowth(t *testing.T) {
+	col := kb.NewCollection()
+	add := func(kbName, uri, val string) {
+		col.Add(&kb.Description{URI: uri, KB: kbName, Attrs: []kb.Attribute{{Predicate: "p", Value: val}}})
+	}
+	add("a", "a1", "uniquetoken alpha")
+	add("b", "b1", "alpha beta")
+	opt := Options{Tokenize: tokenize.Default(), Scheme: metablocking.CBS, Pruning: metablocking.WEP}
+	st, err := Start(Sequential{}, col, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("b", "b2", "uniquetoken beta")
+	if err := (Sequential{}).Ingest(st); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := range st.Front.Blocks.Blocks {
+		if st.Front.Blocks.Blocks[i].Key == "uniquetoken" {
+			found = true
+			if got := st.Front.Blocks.Blocks[i].Entities; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+				t.Fatalf("uniquetoken block entities = %v, want [0 2]", got)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("singleton token never grew into a block")
+	}
+	want := blocking.TokenBlocking(col, opt.Tokenize)
+	sameCollection(t, "singleton", want, st.Front.Blocks)
+}

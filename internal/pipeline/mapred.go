@@ -9,14 +9,13 @@ import (
 	"repro/internal/tokenize"
 )
 
-// MapReduce is the cluster-dataflow engine: blocking, graph
-// construction, and node-centric pruning run as in-process MapReduce
-// jobs (internal/parblock), mirroring the paper's companion Hadoop
-// realization. Stages the dataflow never defined — block cleaning and
-// edge-centric pruning — delegate to the sequential reference, exactly
-// as the original per-stage dispatch in minoaner.Start did. Kept for
-// didactic runs and cross-engine differential tests; the Shared engine
-// is the fast path on one machine.
+// MapReduce is the cluster-dataflow engine: blocking, block cleaning,
+// graph construction, and node-centric pruning run as in-process
+// MapReduce jobs (internal/parblock), mirroring the paper's companion
+// Hadoop realization. Only edge-centric pruning — a global top-K/mean
+// the dataflow never defined — delegates to the sequential reference.
+// Kept for didactic runs and cross-engine differential tests; the
+// Shared engine is the fast path on one machine.
 type MapReduce struct {
 	// Workers is the number of concurrent map/reduce tasks (> 1).
 	Workers int
@@ -32,14 +31,14 @@ func (e MapReduce) TokenBlocking(src *kb.Collection, opts tokenize.Options) (*bl
 	return parblock.TokenBlocking(src, opts, e.cfg())
 }
 
-// Purge implements Engine.
+// Purge implements Engine via the histogram + keep dataflow jobs.
 func (e MapReduce) Purge(col *blocking.Collection, maxSize int) (*blocking.Collection, error) {
-	return col.Purge(maxSize), nil
+	return parblock.Purge(col, maxSize, e.cfg())
 }
 
-// Filter implements Engine.
+// Filter implements Engine via the rank + assignment dataflow jobs.
 func (e MapReduce) Filter(col *blocking.Collection, ratio float64) (*blocking.Collection, error) {
-	return col.Filter(ratio), nil
+	return parblock.Filter(col, ratio, e.cfg())
 }
 
 // Build implements Engine.
@@ -53,4 +52,16 @@ func (e MapReduce) Prune(g *metablocking.Graph, alg metablocking.Pruning, opts m
 		return parblock.PruneNodeCentric(g, alg, opts, e.cfg())
 	}
 	return g.Prune(alg, opts), nil
+}
+
+// Ingest implements Engine: the shared incremental pass with cleaning
+// and pruning dispatched through this engine's dataflow jobs. The
+// paper's cluster realization never defined an incremental dataflow,
+// so the index extension and graph diff run the sequential reference —
+// the deltas are small by construction.
+func (e MapReduce) Ingest(st *State) error {
+	return ingest(e, st, nil,
+		func(g *metablocking.Graph, oldCol, newCol *blocking.Collection) metablocking.UpdateStats {
+			return g.Update(oldCol, newCol, st.opt.Scheme)
+		})
 }

@@ -58,6 +58,15 @@ type Engine interface {
 	// Prune returns the retained comparisons, sorted by descending
 	// weight (ties by ascending (A, B)).
 	Prune(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions) ([]metablocking.Edge, error)
+	// Ingest folds every description added to the state's source since
+	// the last Start or Ingest into the front-end incrementally: delta
+	// tokenization, append-only inverted-index extension, global (but
+	// linear) re-cleaning, a graph update confined to the blocks the
+	// batch touched, and re-pruning. st.Front afterwards equals a
+	// from-scratch Run over the grown source — bit-identically on the
+	// sequential and shared engines, up to the documented float
+	// round-off on MapReduce-built graphs.
+	Ingest(st *State) error
 }
 
 // Select resolves a (workers, mapReduce) configuration to its engine —

@@ -64,6 +64,17 @@ func engineFor(workers int) Engine {
 	return Shared{Workers: workers}
 }
 
+// cleaningEngines lists every engine whose Purge/Filter must match the
+// sequential reference exactly — including the MapReduce dataflow
+// jobs, which no longer delegate to it.
+func cleaningEngines(workers int) []Engine {
+	es := []Engine{engineFor(workers)}
+	if workers > 1 {
+		es = append(es, MapReduce{Workers: workers})
+	}
+	return es
+}
+
 func sameCollection(t *testing.T, label string, want, got *blocking.Collection) {
 	t.Helper()
 	if got.CleanClean != want.CleanClean {
@@ -146,28 +157,32 @@ func TestCleaningMatchesSequential(t *testing.T) {
 		for _, maxSize := range []int{0, 3, 25} {
 			want := raw.Purge(maxSize)
 			for _, workers := range workerCounts {
-				label := fmt.Sprintf("%s/purge=%d/workers=%d", world, maxSize, workers)
-				t.Run(label, func(t *testing.T) {
-					got, err := engineFor(workers).Purge(raw, maxSize)
-					if err != nil {
-						t.Fatal(err)
-					}
-					sameCollection(t, label, want, got)
-				})
+				for _, eng := range cleaningEngines(workers) {
+					label := fmt.Sprintf("%s/purge=%d/%s/workers=%d", world, maxSize, eng.Name(), workers)
+					t.Run(label, func(t *testing.T) {
+						got, err := eng.Purge(raw, maxSize)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sameCollection(t, label, want, got)
+					})
+				}
 			}
 		}
 		purged := raw.Purge(0)
 		for _, ratio := range []float64{0.5, 0.8, 1.0} {
 			want := purged.Filter(ratio)
 			for _, workers := range workerCounts {
-				label := fmt.Sprintf("%s/filter=%.1f/workers=%d", world, ratio, workers)
-				t.Run(label, func(t *testing.T) {
-					got, err := engineFor(workers).Filter(purged, ratio)
-					if err != nil {
-						t.Fatal(err)
-					}
-					sameCollection(t, label, want, got)
-				})
+				for _, eng := range cleaningEngines(workers) {
+					label := fmt.Sprintf("%s/filter=%.1f/%s/workers=%d", world, ratio, eng.Name(), workers)
+					t.Run(label, func(t *testing.T) {
+						got, err := eng.Filter(purged, ratio)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sameCollection(t, label, want, got)
+					})
+				}
 			}
 		}
 	}

@@ -40,3 +40,13 @@ func (Sequential) Build(col *blocking.Collection, scheme metablocking.Scheme) (*
 func (Sequential) Prune(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions) ([]metablocking.Edge, error) {
 	return g.Prune(alg, opts), nil
 }
+
+// Ingest implements Engine: the single-threaded reference realization
+// of the incremental pass — every other engine's Ingest must produce
+// the same state.
+func (Sequential) Ingest(st *State) error {
+	return ingest(Sequential{}, st, nil,
+		func(g *metablocking.Graph, oldCol, newCol *blocking.Collection) metablocking.UpdateStats {
+			return g.Update(oldCol, newCol, st.opt.Scheme)
+		})
+}

@@ -402,3 +402,19 @@ func (e Shared) Build(col *blocking.Collection, scheme metablocking.Scheme) (*me
 func (e Shared) Prune(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions) ([]metablocking.Edge, error) {
 	return parmeta.Prune(g, alg, opts, e.Workers), nil
 }
+
+// Ingest implements Engine: the shared incremental pass with the
+// stages where parallel deltas pay delegated per-stage — the batch is
+// tokenized on the worker pool (WarmTokens only fills the new and
+// invalidated cache slots), cleaning runs through this engine's
+// sharded Purge/Filter, the graph update runs parmeta.Update (the
+// sequential structural diff, proportional to the delta, plus a
+// reweigh sharded across workers), and pruning runs the sharded
+// pruner.
+func (e Shared) Ingest(st *State) error {
+	warm := func() { st.src.WarmTokens(st.opt.Tokenize, e.Workers) }
+	return ingest(e, st, warm,
+		func(g *metablocking.Graph, oldCol, newCol *blocking.Collection) metablocking.UpdateStats {
+			return parmeta.Update(g, oldCol, newCol, st.opt.Scheme, e.Workers)
+		})
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Quad is a triple with the graph label of its source — the shape of
@@ -78,6 +79,10 @@ func (d *QuadDecoder) errf(format string, args ...any) *ParseError {
 }
 
 func (d *QuadDecoder) parseLine(line string) (Quad, error) {
+	// UTF-8 by definition, like N-Triples (see Decoder.parseLine).
+	if !utf8.ValidString(line) {
+		return Quad{}, d.errf("invalid UTF-8 in statement")
+	}
 	p := &lineParser{s: line}
 	subj, err := p.term()
 	if err != nil {

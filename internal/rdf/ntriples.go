@@ -81,6 +81,12 @@ func (d *Decoder) errf(format string, args ...any) *ParseError {
 
 // parseLine parses one N-Triples statement (without trailing newline).
 func (d *Decoder) parseLine(line string) (Triple, error) {
+	// N-Triples documents are UTF-8 by definition; raw invalid bytes
+	// would silently turn into U+FFFD on re-serialization, breaking
+	// the parse → serialize round trip.
+	if !utf8.ValidString(line) {
+		return Triple{}, d.errf("invalid UTF-8 in statement")
+	}
 	p := &lineParser{s: line}
 	subj, err := p.term()
 	if err != nil {

@@ -1,0 +1,80 @@
+package tokenize
+
+import (
+	"reflect"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTokens drives the tokenizer with arbitrary byte strings and
+// option combinations and checks its invariants: no panics, pure
+// determinism, no duplicates, no empty tokens, and the documented
+// length bounds. CI runs the seed corpus; `go test -fuzz=FuzzTokens
+// ./internal/tokenize` explores further.
+func FuzzTokens(f *testing.F) {
+	seeds := []string{
+		"",
+		"New_York_City_2",
+		"NewYorkCity and the the the",
+		"http://dbpedia.org/resource/Athens",
+		"ΚΝΩΣΣΟΣ café naïve 東京 12 1234",
+		"a-b_c.d,e;f:g!h?i(j)k[l]m{n}o",
+		"\x00\xff\xfe invalid \x80 utf8",
+		"MiXeDCase123Numbers456tail",
+		strings40 + strings40 + strings40,
+	}
+	for _, s := range seeds {
+		f.Add(s, 2, 40, true, true, 2)
+	}
+	f.Add("short min", 0, 0, false, false, 0)
+	f.Fuzz(func(t *testing.T, value string, minLen, maxLen int, camel, stops bool, dropNum int) {
+		// Bound the options to sane magnitudes; the fields are small
+		// config knobs, not arbitrary integers.
+		opts := Options{
+			MinLength:        clamp(minLen, 0, 16),
+			MaxLength:        clamp(maxLen, 0, 64),
+			SplitCamelCase:   camel,
+			DropStopWords:    stops,
+			DropNumbersUnder: clamp(dropNum, 0, 8),
+		}
+		first := Tokens(value, opts)
+		second := Tokens(value, opts)
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("tokenize not deterministic: %q -> %v then %v", value, first, second)
+		}
+		seen := make(map[string]struct{}, len(first))
+		for _, tok := range first {
+			if tok == "" {
+				t.Fatalf("empty token from %q", value)
+			}
+			if _, dup := seen[tok]; dup {
+				t.Fatalf("duplicate token %q from %q", tok, value)
+			}
+			seen[tok] = struct{}{}
+			n := utf8.RuneCountInString(tok)
+			if opts.MinLength > 0 && n < opts.MinLength {
+				t.Fatalf("token %q shorter than MinLength %d (input %q)", tok, opts.MinLength, value)
+			}
+			if opts.MaxLength > 0 && n > opts.MaxLength {
+				t.Fatalf("token %q longer than MaxLength %d (input %q)", tok, opts.MaxLength, value)
+			}
+		}
+		// URI extraction must hold the same invariants on the same input.
+		if uriToks := URITokens(value, opts); len(uriToks) > 0 && uriToks[0] == "" {
+			t.Fatalf("empty URI token from %q", value)
+		}
+		_ = URIInfix(value)
+	})
+}
+
+const strings40 = "aaaaaaaaaabbbbbbbbbbccccccccccdddddddddd"
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

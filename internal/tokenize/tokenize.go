@@ -12,6 +12,7 @@ package tokenize
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Options controls tokenization. The zero value is NOT useful; use
@@ -169,10 +170,17 @@ func splitCamel(s string) []string {
 
 func normalize(tok string, opts Options) string {
 	tok = strings.ToLower(tok)
-	if n := len([]rune(tok)); n < opts.MinLength {
-		return ""
-	} else if opts.MaxLength > 0 && n > opts.MaxLength {
+	// Truncate before the length gate, so MinLength holds for what is
+	// actually emitted (with MaxLength < MinLength every token drops —
+	// degenerate, but coherent). One rune scan: this is the tokenize
+	// hot path under WarmTokens and delta ingestion.
+	n := utf8.RuneCountInString(tok)
+	if opts.MaxLength > 0 && n > opts.MaxLength {
 		tok = string([]rune(tok)[:opts.MaxLength])
+		n = opts.MaxLength
+	}
+	if n < opts.MinLength {
+		return ""
 	}
 	if opts.DropStopWords && stopWords[tok] {
 		return ""

@@ -210,6 +210,11 @@ func (r *Result) SameAs() string {
 type Pipeline struct {
 	cfg Config
 	col *kb.Collection
+	// current is the most recent session Start created. Sessions share
+	// the pipeline's collection, so streaming ingestion — which
+	// mutates it — is restricted to the current session; earlier
+	// sessions keep operating on their frozen view.
+	current *Session
 }
 
 // New returns an empty pipeline with the given configuration.
@@ -293,6 +298,23 @@ func (p *Pipeline) AddDescription(kbName, uri string, attrs map[string]string, l
 	return nil
 }
 
+// Add inserts descriptions directly, preserving attribute order — the
+// pre-Start counterpart of Session.Ingest. Adding a KB+URI that
+// already exists extends the existing description.
+func (p *Pipeline) Add(batch []Description) error {
+	for _, d := range batch {
+		if d.KB == "" || d.URI == "" {
+			return fmt.Errorf("minoaner: KB name and URI must not be empty")
+		}
+	}
+	for _, d := range batch {
+		p.col.Add(&kb.Description{
+			URI: d.URI, KB: d.KB, Types: d.Types, Attrs: d.Attrs, Links: d.Links,
+		})
+	}
+	return nil
+}
+
 // NumDescriptions returns how many descriptions are loaded.
 func (p *Pipeline) NumDescriptions() int { return p.col.Len() }
 
@@ -316,8 +338,17 @@ func (p *Pipeline) ResolveBudget(budget int) (*Result, error) {
 // comparison budget and returns the cumulative result so far. Matches
 // found in earlier legs stay resolved; the update phase keeps feeding
 // evidence across legs.
+//
+// A Session is also the unit of streaming resolution: Ingest and
+// IngestKB fold new descriptions into the live session incrementally —
+// the blocking graph is updated in its affected neighborhood instead
+// of rebuilt — with the guarantee that ingesting a corpus in any
+// number of batches and then resolving produces exactly the state a
+// from-scratch session over the whole corpus would.
 type Session struct {
 	p        *Pipeline
+	eng      pipeline.Engine
+	fstate   *pipeline.State
 	resolver *core.Resolver
 	matcher  *match.Matcher
 	base     Stats
@@ -340,7 +371,7 @@ func (p *Pipeline) Start() (*Session, error) {
 		return nil, fmt.Errorf("minoaner: no descriptions loaded")
 	}
 	eng := pipeline.Select(p.cfg.Workers, p.cfg.MapReduce)
-	fe, err := pipeline.Run(eng, p.col, pipeline.Options{
+	fstate, err := pipeline.Start(eng, p.col, pipeline.Options{
 		Tokenize:          p.cfg.Tokenize,
 		PurgeMaxBlockSize: p.cfg.PurgeMaxBlockSize,
 		FilterRatio:       p.cfg.FilterRatio,
@@ -351,28 +382,42 @@ func (p *Pipeline) Start() (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("minoaner: %w", err)
 	}
-	col, edges := fe.Blocks, fe.Edges
 
 	// Stages 3–5 are deferred to Resume.
 	matcher := match.NewMatcher(p.col, p.cfg.Match)
-	resolver := core.NewResolver(matcher, edges, core.Config{
+	resolver := core.NewResolver(matcher, fstate.Front.Edges, core.Config{
 		Benefit:          p.cfg.Benefit,
 		DisableDiscovery: p.cfg.DisableDiscovery,
 		Workers:          parmeta.Workers(p.cfg.Workers),
 	})
-	return &Session{
+	s := &Session{
 		p:        p,
+		eng:      eng,
+		fstate:   fstate,
 		resolver: resolver,
 		matcher:  matcher,
-		base: Stats{
-			Descriptions:    p.col.Len(),
-			KBs:             p.col.NumKBs(),
-			BruteForce:      bruteForce(p.col),
-			Blocks:          col.NumBlocks(),
-			BlockCandidates: len(col.DistinctPairs()),
-			PrunedEdges:     len(edges),
-		},
-	}, nil
+	}
+	p.current = s
+	s.refreshStats()
+	return s, nil
+}
+
+// refreshStats recomputes the front-end statistics from the current
+// state — called at Start and after every ingest. BlockCandidates is
+// read off the blocking graph (its edges are exactly the distinct
+// comparable pairs of the cleaned blocks), not re-enumerated — an
+// O(blocks²)-pair walk would hand the delta-proportional ingest path a
+// hidden superlinear cost.
+func (s *Session) refreshStats() {
+	fe := s.fstate.Front
+	s.base = Stats{
+		Descriptions:    s.p.col.Len(),
+		KBs:             s.p.col.NumKBs(),
+		BruteForce:      bruteForce(s.p.col),
+		Blocks:          fe.Blocks.NumBlocks(),
+		BlockCandidates: fe.Graph.NumEdges(),
+		PrunedEdges:     len(fe.Edges),
+	}
 }
 
 // Resume executes up to budget further comparisons (0 = run to
@@ -413,6 +458,110 @@ func (s *Session) Resume(budget int) (*Result, error) {
 
 // Pending returns an upper bound on the comparisons still queued.
 func (s *Session) Pending() int { return s.resolver.Pending() }
+
+// Attribute is one predicate–value pair of a streamed Description.
+type Attribute = kb.Attribute
+
+// Description is one entity description to stream into a live Session
+// with Ingest. Attrs carry token evidence; Links name other
+// descriptions' URIs in the same KB. Ingesting a KB+URI that already
+// exists extends the existing description.
+type Description struct {
+	// KB names the source knowledge base (new names open new KBs).
+	KB string
+	// URI identifies the description within its KB.
+	URI string
+	// Types lists rdf:type objects.
+	Types []string
+	// Attrs lists the literal-valued predicates.
+	Attrs []Attribute
+	// Links lists URIs of linked descriptions.
+	Links []string
+}
+
+// Ingest streams a batch of new descriptions into the live session.
+//
+// The front-end state advances incrementally: the batch is tokenized
+// and appended to the inverted token index, block cleaning is
+// recomputed (linear), the blocking graph is updated only in the
+// neighborhood the batch touched — never rebuilt from its pairs — and
+// the progressive queue is re-seeded so new comparisons interleave
+// with old ones in the same benefit order a from-scratch session would
+// schedule.
+//
+// Equivalence guarantee: splitting a corpus into any number of Ingest
+// batches and then resolving yields exactly the from-scratch result —
+// the same Result.Trace bit for bit, for any worker count and any
+// budget (on the MapReduce engine, up to its documented float
+// round-off). Ingesting after comparisons have already been spent is
+// also supported, with monotonic semantics: confirmed matches stay
+// resolved, executed pairs are not re-executed, and new evidence
+// interleaves by benefit from then on.
+//
+// Ingestion requires the Session to be its Pipeline's current (most
+// recent) one: sessions share the pipeline's collection, so mutating
+// it under a newer session would silently desynchronize that
+// session's state. A superseded session keeps resolving its frozen
+// view; only Ingest/IngestKB refuse.
+func (s *Session) Ingest(batch []Description) error {
+	if err := s.ingestable(); err != nil {
+		return err
+	}
+	if err := s.p.Add(batch); err != nil {
+		return err
+	}
+	return s.sync()
+}
+
+// ingestable refuses streaming for any session but the pipeline's
+// current (most recent) one — before anything mutates the shared
+// collection. Sessions share that collection, and the incremental
+// index's merge tracking is single-consumer: an older session
+// ingesting would silently desynchronize the newer ones. The current
+// session always may; superseded sessions keep their frozen view.
+func (s *Session) ingestable() error {
+	if s.p.current != s {
+		return fmt.Errorf("minoaner: ingest requires the pipeline's current session (a newer Start superseded this one)")
+	}
+	return nil
+}
+
+// IngestKB streams an N-Triples document into the live session as
+// knowledge base name — LoadKB's streaming counterpart. Statements
+// about subjects the session already knows extend their descriptions.
+func (s *Session) IngestKB(name string, r io.Reader) error {
+	if name == "" {
+		return fmt.Errorf("minoaner: KB name must not be empty")
+	}
+	if err := s.ingestable(); err != nil {
+		return err
+	}
+	if err := s.p.col.Load(name, r); err != nil {
+		return fmt.Errorf("minoaner: %w", err)
+	}
+	return s.sync()
+}
+
+// sync folds every description added to the collection since the last
+// Start/Ingest into the session: the engine advances the front-end
+// state incrementally, the matcher is rebuilt (IDF weights are global
+// — linear work), and the resolver is reseeded with the re-pruned
+// comparison list.
+func (s *Session) sync() error {
+	if err := s.ingestable(); err != nil {
+		return err // defense in depth; Ingest/IngestKB check first
+	}
+	if s.fstate.InSync() {
+		return nil // nothing new arrived since the last pass
+	}
+	if err := s.eng.Ingest(s.fstate); err != nil {
+		return fmt.Errorf("minoaner: %w", err)
+	}
+	s.matcher = match.NewMatcher(s.p.col, s.p.cfg.Match)
+	s.resolver.Reseed(s.matcher, s.fstate.Front.Edges)
+	s.refreshStats()
+	return nil
+}
 
 func (p *Pipeline) ref(id int) Ref {
 	d := p.col.Desc(id)
