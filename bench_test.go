@@ -322,6 +322,76 @@ func BenchmarkIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkEvict is the deletion cost profile, the mirror of
+// BenchmarkIngest: splicing a small batch of departures out of a live
+// front-end state (Engine.Evict) versus rebuilding the front-end from
+// scratch over the surviving corpus. The evict path touches only the
+// postings the departed descriptions carried and re-accumulates only
+// the graph neighborhood their blocks span — it must never fall back
+// to a full graph rebuild, which the benchmark asserts alongside the
+// touched-edges/total-edges ratio.
+func BenchmarkEvict(b *testing.B) {
+	const delta = 10
+	w := benchWorld(b, 1000) // two KBs ⇒ ~2000 descriptions
+	full := w.Collection
+	n := full.Len()
+	opt := pipeline.Options{
+		Tokenize:    tokenize.Default(),
+		FilterRatio: 0.8,
+		Scheme:      metablocking.ECBS,
+		Pruning:     metablocking.WNP,
+	}
+	copyInto := func(dst *kb.Collection, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			d := full.Desc(id)
+			dst.Add(&kb.Description{URI: d.URI, KB: d.KB, Types: d.Types, Attrs: d.Attrs, Links: d.Links})
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		eng := pipeline.Select(workers, false)
+		b.Run(fmt.Sprintf("evict-batch/%s/workers=%d", eng.Name(), workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				grown := kb.NewCollection()
+				copyInto(grown, 0, n)
+				st, err := pipeline.Start(eng, grown, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// A spread of departures across both KBs, away from the
+				// single-KB boundary.
+				for id := 0; id < delta; id++ {
+					grown.Evict(3 + id*((n-6)/delta))
+				}
+				b.StartTimer()
+				if err := eng.Evict(st); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if st.LastUpdate.Rebuilt {
+					b.Fatal("evict fell back to a full graph rebuild")
+				}
+				b.ReportMetric(float64(st.LastUpdate.EdgesTouched), "touched-edges")
+				b.ReportMetric(float64(st.Front.Graph.NumEdges()), "total-edges")
+				b.StartTimer()
+			}
+		})
+		b.Run(fmt.Sprintf("rebuild/%s/workers=%d", eng.Name(), workers), func(b *testing.B) {
+			scratch := kb.NewCollection()
+			copyInto(scratch, 0, n)
+			for id := 0; id < delta; id++ {
+				scratch.Evict(3 + id*((n-6)/delta))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.Run(eng, scratch, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMatching drives the progressive matching stage — the
 // schedule → match → update loop over the pruned comparison list —
 // sequentially (workers=1) and through the speculative-score/

@@ -99,20 +99,7 @@ func TestGoldenResolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var cb strings.Builder
-	for _, mt := range out.Matches {
-		fmt.Fprintf(&cb, "M %s/%s %s/%s %016x %v %v\n",
-			mt.A.KB, mt.A.URI, mt.B.KB, mt.B.URI, math.Float64bits(mt.Score), mt.Discovered, mt.Rechecked)
-	}
-	for _, c := range out.Clusters {
-		cb.WriteString("C")
-		for _, r := range c {
-			cb.WriteString(" " + r.KB + "/" + r.URI)
-		}
-		cb.WriteString("\n")
-	}
-	fmt.Fprintf(&cb, "S %+v\n", out.Stats)
-	clusterDigest := sha256digest(cb.String())
+	clusterDigest := resultDigest(out)
 
 	if traceDigest != goldenTraceDigest || clusterDigest != goldenClusterDigest {
 		t.Errorf("golden digests changed:\n  trace   %s\n  want    %s\n  cluster %s\n  want    %s\n"+
@@ -129,4 +116,26 @@ func TestGoldenResolution(t *testing.T) {
 func sha256digest(s string) string {
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:])
+}
+
+// resultDigest canonicalizes a public Result — matches with exact
+// score bits, clusters, stats — into the SHA-256 the golden constants
+// pin. It reads only KB/URI references, never internal ids, so any
+// session whose resolution semantics equal the golden run reproduces
+// it, however its ids came to be assigned.
+func resultDigest(out *minoaner.Result) string {
+	var cb strings.Builder
+	for _, mt := range out.Matches {
+		fmt.Fprintf(&cb, "M %s/%s %s/%s %016x %v %v\n",
+			mt.A.KB, mt.A.URI, mt.B.KB, mt.B.URI, math.Float64bits(mt.Score), mt.Discovered, mt.Rechecked)
+	}
+	for _, c := range out.Clusters {
+		cb.WriteString("C")
+		for _, r := range c {
+			cb.WriteString(" " + r.KB + "/" + r.URI)
+		}
+		cb.WriteString("\n")
+	}
+	fmt.Fprintf(&cb, "S %+v\n", out.Stats)
+	return sha256digest(cb.String())
 }

@@ -32,6 +32,9 @@ func AttributeClustering(src *kb.Collection, opts tokenize.Options) *Collection 
 	// 1. Collect the token profile of every (KB, predicate) attribute.
 	profiles := make(map[attrKey]map[string]struct{})
 	for id := 0; id < src.Len(); id++ {
+		if !src.Alive(id) {
+			continue
+		}
 		d := src.Desc(id)
 		k := src.KBOf(id)
 		for _, a := range d.Attrs {
@@ -90,6 +93,9 @@ func AttributeClustering(src *kb.Collection, opts tokenize.Options) *Collection 
 		return "c" + strconv.Itoa(uf.Find(i))
 	}
 	for id := 0; id < src.Len(); id++ {
+		if !src.Alive(id) {
+			continue
+		}
 		d := src.Desc(id)
 		k := src.KBOf(id)
 		// URI tokens go to a dedicated cluster shared by all KBs.

@@ -55,12 +55,17 @@ type Collection struct {
 }
 
 // TokenBlocking builds one block per token appearing in any attribute
-// value or URI infix of any description. Blocks with fewer than two
-// descriptions (or, in clean–clean settings, no cross-KB pair) are
-// dropped — they induce no comparisons.
+// value or URI infix of any live description. Blocks with fewer than
+// two descriptions (or, in clean–clean settings, no cross-KB pair) are
+// dropped — they induce no comparisons. Evicted descriptions are
+// invisible: the result equals token blocking over a collection that
+// never held them.
 func TokenBlocking(src *kb.Collection, opts tokenize.Options) *Collection {
 	byKey := make(map[string][]int)
 	for id := 0; id < src.Len(); id++ {
+		if !src.Alive(id) {
+			continue
+		}
 		for _, tok := range src.Tokens(id, opts) {
 			byKey[tok] = append(byKey[tok], id)
 		}
@@ -70,7 +75,7 @@ func TokenBlocking(src *kb.Collection, opts tokenize.Options) *Collection {
 
 // assemble turns a key→ids map into a sorted, pruned Collection.
 func assemble(src *kb.Collection, byKey map[string][]int) *Collection {
-	col := &Collection{Source: src, CleanClean: src.NumKBs() > 1}
+	col := &Collection{Source: src, CleanClean: src.NumLiveKBs() > 1}
 	keys := make([]string, 0, len(byKey))
 	for k := range byKey {
 		keys = append(keys, k)

@@ -31,6 +31,9 @@ func SortedNeighborhood(src *kb.Collection, opts tokenize.Options, window int) *
 	}
 	var entries []entry
 	for id := 0; id < src.Len(); id++ {
+		if !src.Alive(id) {
+			continue
+		}
 		for _, tok := range src.Tokens(id, opts) {
 			entries = append(entries, entry{token: tok, id: id})
 		}
@@ -42,7 +45,7 @@ func SortedNeighborhood(src *kb.Collection, opts tokenize.Options, window int) *
 		return entries[i].id < entries[j].id
 	})
 
-	col := &Collection{Source: src, CleanClean: src.NumKBs() > 1}
+	col := &Collection{Source: src, CleanClean: src.NumLiveKBs() > 1}
 	// Slide the window over the sorted sequence; emit one pseudo-block
 	// per window position whose contents aren't subsumed by the
 	// previous window (consecutive positions share window-1 members, so

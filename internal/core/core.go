@@ -121,7 +121,7 @@ type Result struct {
 // collection spans several KBs.
 func (r *Result) MatchedPairs(m *match.Matcher) []blocking.Pair {
 	col := m.Collection()
-	cross := col.NumKBs() > 1
+	cross := col.NumLiveKBs() > 1
 	raw := r.Clusters.Pairs(col, cross)
 	out := make([]blocking.Pair, len(raw))
 	for i, p := range raw {
@@ -367,7 +367,7 @@ func (r *Resolver) propagate(a, b int) {
 
 func (r *Resolver) boost(p blocking.Pair) {
 	col := r.matcher.Collection()
-	if col.NumKBs() > 1 && !col.CrossKB(p.A, p.B) {
+	if col.NumLiveKBs() > 1 && !col.CrossKB(p.A, p.B) {
 		return
 	}
 	k := pairKey(p)

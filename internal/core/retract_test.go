@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/datagen"
+	"repro/internal/match"
+	"repro/internal/metablocking"
+	"repro/internal/tokenize"
+)
+
+// retractWorld builds the linked two-KB workload, tombstones a spread
+// of ids, and returns the rebuilt matcher and re-pruned edges over the
+// survivors plus the pre-eviction resolver inputs.
+func retractWorld(t *testing.T, seed int64, n, evictEvery int) (pre, post *match.Matcher, preEdges, postEdges []metablocking.Edge) {
+	t.Helper()
+	w, err := datagen.Generate(datagen.Config{
+		Seed:        seed,
+		NumEntities: n,
+		KBs: []datagen.KBConfig{
+			{Name: "alpha", Coverage: 1, Profile: datagen.Center()},
+			{Name: "betaKB", Coverage: 1, Profile: datagen.Periphery()},
+		},
+		LinksPerEntity: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := w.Collection
+	frontEdges := func() []metablocking.Edge {
+		bl := blocking.TokenBlocking(col, tokenize.Default()).Purge(0).Filter(0.8)
+		g := metablocking.Build(bl, metablocking.ECBS)
+		return g.Prune(metablocking.WNP, metablocking.PruneOptions{Assignments: bl.Assignments()})
+	}
+	pre = match.NewMatcher(col, match.DefaultOptions())
+	preEdges = frontEdges()
+	for id := 0; id < col.Len(); id += evictEvery {
+		col.Evict(id)
+	}
+	post = match.NewMatcher(col, match.DefaultOptions())
+	postEdges = frontEdges()
+	return pre, post, preEdges, postEdges
+}
+
+// TestRetractFreshEqualsNewResolver pins the bit-identity half of the
+// contract: retracting a resolver that has executed nothing yields a
+// resolver indistinguishable from NewResolver over the surviving
+// corpus — the full progressive trace agrees step for step, for any
+// worker count and any budget.
+func TestRetractFreshEqualsNewResolver(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, budget := range []int{7, 0} {
+			t.Run(fmt.Sprintf("workers=%d/budget=%d", workers, budget), func(t *testing.T) {
+				_, post, preEdges, postEdges := retractWorld(t, 551, 130, 7)
+				cfg := DefaultConfig()
+				cfg.Workers = workers
+
+				r := NewResolver(post, preEdges, cfg) // seeded pre-eviction
+				r.Retract(post, postEdges, nil)
+				got := r.RunBudget(budget)
+
+				want := NewResolver(post, postEdges, cfg).RunBudget(budget)
+				if len(got.Trace) != len(want.Trace) {
+					t.Fatalf("%d steps, want %d", len(got.Trace), len(want.Trace))
+				}
+				for i := range want.Trace {
+					if got.Trace[i] != want.Trace[i] {
+						t.Fatalf("step %d = %+v, want %+v", i, got.Trace[i], want.Trace[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRetractAfterRun pins the monotone semantics of mid-session
+// eviction: after spending budget, retracting with the surviving
+// history keeps surviving matches resolved, never touches a dead id
+// again, never re-spends an executed surviving pair (except as an
+// explicit recheck), and keeps Pending an upper bound on the
+// executable comparisons.
+func TestRetractAfterRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			pre, post, preEdges, postEdges := retractWorld(t, 552, 140, 6)
+			col := post.Collection()
+			cfg := DefaultConfig()
+			cfg.Workers = workers
+
+			r := NewResolver(pre, preEdges, cfg)
+			mid := r.RunBudget(60)
+
+			// The surviving history: steps whose endpoints are both alive.
+			var steps []Step
+			for _, s := range mid.Trace {
+				if col.Alive(s.A) && col.Alive(s.B) {
+					steps = append(steps, s)
+				}
+			}
+			if len(steps) == len(mid.Trace) {
+				t.Fatal("eviction removed no executed steps — workload too easy")
+			}
+			r.Retract(post, postEdges, steps)
+
+			if p, e := r.Pending(), executable(r); p < e {
+				t.Fatalf("Pending=%d undercounts %d executable after retract", p, e)
+			}
+			// Surviving matches stay resolved.
+			for _, s := range steps {
+				if s.Matched && !r.Clusters().Same(s.A, s.B) {
+					t.Fatalf("surviving match (%d,%d) lost by retract", s.A, s.B)
+				}
+			}
+
+			rest := r.RunBudget(0)
+			executed := make(map[blocking.Pair]bool, len(steps))
+			for _, s := range steps {
+				executed[blocking.MakePair(s.A, s.B)] = true
+			}
+			for _, s := range rest.Trace {
+				if !col.Alive(s.A) || !col.Alive(s.B) {
+					t.Fatalf("post-retract step touches evicted id: %+v", s)
+				}
+				if executed[blocking.MakePair(s.A, s.B)] && !s.Recheck {
+					t.Fatalf("executed pair (%d,%d) re-spent without a recheck flag", s.A, s.B)
+				}
+			}
+			if e := executable(r); e != 0 {
+				t.Fatalf("drained resolver left %d executable pairs", e)
+			}
+		})
+	}
+}

@@ -72,7 +72,10 @@ func (d *Description) Tokens(opts tokenize.Options) []string {
 
 // Collection is an id-addressed set of descriptions drawn from one or
 // more knowledge bases. Ids are dense, 0..Len()-1, assigned in insertion
-// order. A Collection is append-only.
+// order. Ids are never reused: removal is by tombstone (Evict), which
+// keeps every surviving id — and therefore every downstream structure
+// indexed by id — stable while the evicted description stops resolving
+// by URI, stops linking, and stops counting.
 type Collection struct {
 	descs    []*Description
 	byURI    map[string]int
@@ -80,10 +83,15 @@ type Collection struct {
 	kbOf     []int            // id → kb index
 	kbNames  []string         // kb index → name
 	kbIndex  map[string]int
+	kbLive   []int      // kb index → live description count
+	liveKBs  int        // KBs with at least one live description
 	tokens   [][]string // id → cached token evidence (built lazily)
 	tokOpts  tokenize.Options
 	hasToken bool
-	merged   []int // existing ids extended by Add since the last TakeMerged
+	merged   []int  // existing ids extended by Add since the last TakeMerged
+	dead     []bool // id → tombstoned by Evict (nil while nothing evicted)
+	numDead  int
+	evicted  []int // ids tombstoned since the last TakeEvicted
 }
 
 // NewCollection returns an empty collection.
@@ -124,16 +132,139 @@ func (c *Collection) Add(d *Description) int {
 		ki = len(c.kbNames)
 		c.kbNames = append(c.kbNames, d.KB)
 		c.kbIndex[d.KB] = ki
+		c.kbLive = append(c.kbLive, 0)
 	}
+	if c.kbLive[ki] == 0 {
+		c.liveKBs++
+	}
+	c.kbLive[ki]++
 	c.kbOf = append(c.kbOf, ki)
 	if c.hasToken {
 		c.tokens = append(c.tokens, nil)
 	}
+	if c.dead != nil {
+		c.dead = append(c.dead, false)
+	}
 	return id
+}
+
+// Evict tombstones a description: its id stays allocated (so every
+// id-indexed structure remains valid) but the description stops
+// resolving by URI or KB+URI, stops being anyone's neighbor, and is
+// skipped by blocking, matching, and statistics. Its KB+URI may be
+// re-added later under a fresh id. Reports whether the id was live;
+// evicting an out-of-range or already-dead id is a no-op.
+func (c *Collection) Evict(id int) bool {
+	if id < 0 || id >= len(c.descs) || !c.Alive(id) {
+		return false
+	}
+	if c.dead == nil {
+		c.dead = make([]bool, len(c.descs))
+	}
+	c.dead[id] = true
+	c.numDead++
+	d := c.descs[id]
+	delete(c.byURI, key(d.KB, d.URI))
+	if ids := c.anyURI[d.URI]; len(ids) > 0 {
+		kept := make([]int, 0, len(ids)-1)
+		for _, x := range ids {
+			if x != id {
+				kept = append(kept, x)
+			}
+		}
+		if len(kept) == 0 {
+			delete(c.anyURI, d.URI)
+		} else {
+			c.anyURI[d.URI] = kept
+		}
+	}
+	ki := c.kbOf[id]
+	c.kbLive[ki]--
+	if c.kbLive[ki] == 0 {
+		c.liveKBs--
+	}
+	c.evicted = append(c.evicted, id)
+	return true
+}
+
+// Alive reports whether the id is live (not tombstoned by Evict).
+func (c *Collection) Alive(id int) bool { return c.numDead == 0 || !c.dead[id] }
+
+// NumAlive returns the number of live descriptions.
+func (c *Collection) NumAlive() int { return len(c.descs) - c.numDead }
+
+// NumLiveKBs returns how many KBs still contribute at least one live
+// description — the count that decides clean–clean semantics once
+// descriptions can leave.
+func (c *Collection) NumLiveKBs() int {
+	if c.numDead == 0 {
+		return len(c.kbNames)
+	}
+	return c.liveKBs
+}
+
+// HasKB reports whether a KB of this name has ever contributed
+// descriptions (live or evicted).
+func (c *Collection) HasKB(name string) bool {
+	_, ok := c.kbIndex[name]
+	return ok
+}
+
+// LiveIDsOfKB returns the live description ids of the named KB,
+// ascending. Unknown names return nil.
+func (c *Collection) LiveIDsOfKB(name string) []int {
+	ki, ok := c.kbIndex[name]
+	if !ok || c.kbLive[ki] == 0 {
+		return nil
+	}
+	out := make([]int, 0, c.kbLive[ki])
+	for id := 0; id < len(c.descs); id++ {
+		if c.kbOf[id] == ki && c.Alive(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// DropTokens clears the cached token evidence of the given ids. The
+// streaming front-end calls it once evicted descriptions have been
+// spliced out of its inverted index, so tombstones stop pinning token
+// slices; a live id dropped by mistake is merely re-tokenized lazily.
+func (c *Collection) DropTokens(ids []int) {
+	if !c.hasToken {
+		return
+	}
+	for _, id := range ids {
+		if id >= 0 && id < len(c.tokens) {
+			c.tokens[id] = nil
+		}
+	}
+}
+
+// HasEvicted reports whether any evictions are pending for TakeEvicted.
+func (c *Collection) HasEvicted() bool { return len(c.evicted) > 0 }
+
+// TakeEvicted returns the ids tombstoned since the last call,
+// deduplicated and ascending, and resets the list — the eviction
+// counterpart of TakeMerged, consumed by the incremental front-end to
+// splice the departed ids out of its inverted index.
+func (c *Collection) TakeEvicted() []int {
+	if len(c.evicted) == 0 {
+		return nil
+	}
+	ids := DedupSortedInts(c.evicted)
+	c.evicted = nil
+	return ids
 }
 
 // HasMerged reports whether any merge-Adds are pending for TakeMerged.
 func (c *Collection) HasMerged() bool { return len(c.merged) > 0 }
+
+// PendingMerges returns how many merge-Adds are pending for
+// TakeMerged (counting repeats). Comparing it across a load tells
+// whether the load merged anything, independent of merges already
+// stranded by an earlier failed pass.
+func (c *Collection) PendingMerges() int { return len(c.merged) }
 
 // TakeMerged returns the ids of existing descriptions that Add has
 // extended (same KB and URI re-added) since the last call, deduplicated
@@ -145,12 +276,15 @@ func (c *Collection) TakeMerged() []int {
 	if len(c.merged) == 0 {
 		return nil
 	}
-	ids := dedupSortedInts(c.merged)
+	ids := DedupSortedInts(c.merged)
 	c.merged = nil
 	return ids
 }
 
-func dedupSortedInts(ids []int) []int {
+// DedupSortedInts returns the ids sorted ascending with duplicates
+// removed, leaving the input untouched — shared by the merge/eviction
+// bookkeeping here and the incremental front-end's id lists.
+func DedupSortedInts(ids []int) []int {
 	out := append([]int(nil), ids...)
 	sort.Ints(out)
 	w := 0
@@ -240,7 +374,7 @@ func (c *Collection) WarmTokens(opts tokenize.Options, workers int) [][]string {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for id := lo; id < hi; id++ {
-				if c.tokens[id] != nil {
+				if c.tokens[id] != nil || !c.Alive(id) {
 					continue
 				}
 				toks := c.descs[id].Tokens(opts)
@@ -378,11 +512,14 @@ type Stats struct {
 	Predicates   int
 }
 
-// Stats computes summary statistics.
+// Stats computes summary statistics over the live descriptions.
 func (c *Collection) Stats() Stats {
-	s := Stats{Descriptions: len(c.descs), KBs: len(c.kbNames)}
+	s := Stats{Descriptions: c.NumAlive(), KBs: c.NumLiveKBs()}
 	preds := make(map[string]struct{})
-	for _, d := range c.descs {
+	for id, d := range c.descs {
+		if !c.Alive(id) {
+			continue
+		}
 		s.Attributes += len(d.Attrs)
 		s.Links += len(d.Links)
 		for _, a := range d.Attrs {
@@ -545,6 +682,9 @@ func (c *Collection) DebugDump(w io.Writer, max int) {
 		n = max
 	}
 	for id := 0; id < n; id++ {
+		if !c.Alive(id) {
+			continue
+		}
 		d := c.descs[id]
 		fmt.Fprintf(w, "[%d] %s (%s)\n", id, d.URI, d.KB)
 		for _, a := range d.Attrs {

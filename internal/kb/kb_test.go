@@ -419,3 +419,84 @@ func TestWarmTokens(t *testing.T) {
 		}
 	}
 }
+
+func TestEvictTombstones(t *testing.T) {
+	c := NewCollection()
+	add := func(kbName, uri string, links ...string) int {
+		return c.Add(&Description{URI: uri, KB: kbName, Links: links,
+			Attrs: []Attribute{{Predicate: "p", Value: "value of " + uri}}})
+	}
+	a0 := add("alpha", "http://a/0", "http://a/1")
+	a1 := add("alpha", "http://a/1")
+	b0 := add("betaKB", "http://b/0")
+	b1 := add("betaKB", "http://a/1") // same URI, other KB
+
+	if !c.Evict(a1) {
+		t.Fatal("evicting a live id reported false")
+	}
+	if c.Evict(a1) || c.Evict(-1) || c.Evict(99) {
+		t.Fatal("evicting dead or out-of-range ids must be a no-op")
+	}
+	if c.Alive(a1) || !c.Alive(a0) {
+		t.Fatal("tombstone flags wrong")
+	}
+	if c.NumAlive() != 3 || c.Len() != 4 {
+		t.Fatalf("NumAlive=%d Len=%d, want 3/4", c.NumAlive(), c.Len())
+	}
+	if _, ok := c.IDOf("alpha", "http://a/1"); ok {
+		t.Fatal("evicted description still resolves by KB+URI")
+	}
+	if ids := c.IDsOfURI("http://a/1"); len(ids) != 1 || ids[0] != b1 {
+		t.Fatalf("IDsOfURI after evict = %v, want [%d]", ids, b1)
+	}
+	if ns := c.Neighbors(a0); len(ns) != 0 {
+		t.Fatalf("link to an evicted description still resolves: %v", ns)
+	}
+	if got := c.TakeEvicted(); len(got) != 1 || got[0] != a1 {
+		t.Fatalf("TakeEvicted = %v, want [%d]", got, a1)
+	}
+	if c.HasEvicted() {
+		t.Fatal("TakeEvicted did not drain")
+	}
+
+	// KB liveness: evicting betaKB's only member drops the live count.
+	if c.NumLiveKBs() != 2 {
+		t.Fatalf("NumLiveKBs = %d, want 2", c.NumLiveKBs())
+	}
+	c.Evict(b0)
+	c.Evict(b1)
+	if c.NumLiveKBs() != 1 {
+		t.Fatalf("NumLiveKBs after emptying betaKB = %d, want 1", c.NumLiveKBs())
+	}
+	if !c.HasKB("betaKB") || c.HasKB("nosuch") {
+		t.Fatal("HasKB wrong")
+	}
+	if ids := c.LiveIDsOfKB("betaKB"); ids != nil {
+		t.Fatalf("LiveIDsOfKB of an emptied KB = %v, want nil", ids)
+	}
+	if ids := c.LiveIDsOfKB("alpha"); len(ids) != 1 || ids[0] != a0 {
+		t.Fatalf("LiveIDsOfKB(alpha) = %v", ids)
+	}
+	if st := c.Stats(); st.Descriptions != 1 || st.KBs != 1 {
+		t.Fatalf("stats over survivors = %+v", st)
+	}
+
+	// Re-adding an evicted KB+URI opens a fresh id; the KB comes back
+	// to life.
+	back := c.Add(&Description{URI: "http://b/0", KB: "betaKB"})
+	if back == b0 {
+		t.Fatal("re-add reused a tombstoned id")
+	}
+	if !c.Alive(back) || c.NumLiveKBs() != 2 {
+		t.Fatalf("re-added description not live (liveKBs=%d)", c.NumLiveKBs())
+	}
+
+	// Token cache entries of tombstones can be dropped and lazily
+	// rebuilt for live ids only.
+	opts := tokenize.Default()
+	c.Tokens(a0, opts)
+	c.DropTokens([]int{a0, a1, -3, 99})
+	if toks := c.Tokens(a0, opts); len(toks) == 0 {
+		t.Fatal("dropped live id no longer tokenizes")
+	}
+}

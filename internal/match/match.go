@@ -103,18 +103,27 @@ type Matcher struct {
 
 // NewMatcher builds a matcher: learns IDF weights over the whole
 // collection and caches token evidence, sparse TF-IDF vectors, and
-// neighbor lists.
+// neighbor lists. Evicted descriptions are invisible: they contribute
+// no documents to the IDF statistics, no vectors, and no neighbors, so
+// the matcher is identical to one built over a collection that never
+// held them.
 func NewMatcher(col *kb.Collection, opts Options) *Matcher {
 	opts = opts.WithDefaults()
 	m := &Matcher{col: col, opts: opts, tfidf: similarity.NewTFIDF()}
 	out := make([][]int, col.Len())
 	for id := 0; id < col.Len(); id++ {
+		if !col.Alive(id) {
+			continue
+		}
 		m.tfidf.AddDoc(col.Tokens(id, opts.Tokenize))
 		out[id] = col.Neighbors(id)
 	}
 	// Vectorize after the IDF pass: weights need the whole corpus.
 	m.vecs = make([]similarity.Vector, col.Len())
 	for id := 0; id < col.Len(); id++ {
+		if !col.Alive(id) {
+			continue
+		}
 		m.vecs[id] = m.tfidf.Vectorize(col.Tokens(id, opts.Tokenize))
 	}
 	// Combine out- and in-neighbors, deduplicated, out-links first.
@@ -231,7 +240,7 @@ func (m *Matcher) DecideValue(a, b int, v float64, cl *Clusters) (score float64,
 	if score < m.opts.Threshold || v < m.opts.MinValueSim {
 		return score, false
 	}
-	if v < m.opts.Threshold && cl != nil && m.col.NumKBs() > 1 {
+	if v < m.opts.Threshold && cl != nil && m.col.NumLiveKBs() > 1 {
 		if cl.HasKB(a, m.col.KBOf(b)) || cl.HasKB(b, m.col.KBOf(a)) {
 			return score, false
 		}

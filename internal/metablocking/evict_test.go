@@ -1,0 +1,177 @@
+package metablocking
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/datagen"
+	"repro/internal/kb"
+	"repro/internal/tokenize"
+)
+
+// TestUpdateMatchesRebuildOnEviction drives Graph.Update down its
+// block-shrinkage path: descriptions are tombstoned in waves and after
+// each wave the incrementally updated graph must be bit-identical to a
+// from-scratch Build over the surviving blocks, for every weighting
+// scheme, with and without block cleaning. Edges whose blocks lost
+// members re-accumulate; edges orphaned by the departure drop.
+func TestUpdateMatchesRebuildOnEviction(t *testing.T) {
+	for _, clean := range []bool{false, true} {
+		for _, scheme := range Schemes() {
+			t.Run(fmt.Sprintf("clean=%v/%v", clean, scheme), func(t *testing.T) {
+				w, err := datagen.Generate(datagen.TwoKBs(171, 160, datagen.Center(), datagen.Periphery()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				src := w.Collection
+				blocksOf := func() *blocking.Collection {
+					if clean {
+						return cleanedBlocks(src)
+					}
+					return blocking.TokenBlocking(src, tokenize.Default())
+				}
+				prevBlocks := blocksOf()
+				g := Build(prevBlocks, scheme)
+				// Waves: a spread of ids, always leaving both KBs alive.
+				order := interleaved(src)
+				waves := [][]int{
+					order[3:7],
+					{order[0], order[len(order)-1]},
+					order[20:29],
+				}
+				for wi, wave := range waves {
+					for _, id := range wave {
+						src.Evict(id)
+					}
+					curBlocks := blocksOf()
+					if !curBlocks.CleanClean {
+						t.Fatal("wave emptied a KB — workload broken for this test")
+					}
+					stats := g.Update(prevBlocks, curBlocks, scheme)
+					if stats.Rebuilt {
+						t.Fatalf("wave %d: eviction fell back to a full rebuild", wi)
+					}
+					if stats.BlocksRemoved+stats.BlocksChanged == 0 {
+						t.Fatalf("wave %d: eviction changed no blocks — workload too easy", wi)
+					}
+					want := Build(curBlocks, scheme)
+					graphsIdentical(t, fmt.Sprintf("wave %d", wi), want, g)
+					if g.LiveNodes() != src.NumAlive() {
+						t.Fatalf("wave %d: LiveNodes=%d, want %d", wi, g.LiveNodes(), src.NumAlive())
+					}
+					prevBlocks = curBlocks
+				}
+			})
+		}
+	}
+}
+
+// TestUpdateEvictionTouchesOnlyDelta pins the efficiency contract of
+// the deletion path: evicting a handful of descriptions recomputes a
+// small neighborhood of the graph, not the whole edge set.
+func TestUpdateEvictionTouchesOnlyDelta(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(172, 300, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := w.Collection
+	prevBlocks := cleanedBlocks(src)
+	g := Build(prevBlocks, ECBS)
+	total := g.NumEdges()
+	for _, id := range interleaved(src)[:4] {
+		src.Evict(id)
+	}
+	curBlocks := cleanedBlocks(src)
+	stats := g.Update(prevBlocks, curBlocks, ECBS)
+	if stats.Rebuilt {
+		t.Fatal("unexpected full rebuild")
+	}
+	if stats.EdgesTouched == 0 {
+		t.Fatal("eviction touched no edges — workload too easy to mean anything")
+	}
+	if stats.EdgesTouched >= total/2 {
+		t.Fatalf("evicting 4 of %d descriptions touched %d of %d edges — not delta-proportional",
+			src.Len(), stats.EdgesTouched, total)
+	}
+	graphsIdentical(t, "evict-delta", Build(curBlocks, ECBS), g)
+}
+
+// TestUpdateKBDepartureFlip covers the documented fallback in reverse:
+// when eviction empties all KBs but one, the surviving corpus is dirty
+// ER — the pair semantics of every block change and the update
+// degrades to one full rebuild, still bit-identical.
+func TestUpdateKBDepartureFlip(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(173, 80, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := w.Collection
+	prevBlocks := blocking.TokenBlocking(src, tokenize.Default())
+	if !prevBlocks.CleanClean {
+		t.Fatal("two-KB collection unexpectedly dirty")
+	}
+	g := Build(prevBlocks, ECBS)
+	secondKB := src.KBName(1)
+	for _, id := range src.LiveIDsOfKB(secondKB) {
+		src.Evict(id)
+	}
+	if src.NumLiveKBs() != 1 {
+		t.Fatalf("live KBs = %d after emptying %q", src.NumLiveKBs(), secondKB)
+	}
+	curBlocks := blocking.TokenBlocking(src, tokenize.Default())
+	if curBlocks.CleanClean {
+		t.Fatal("single live KB still clean–clean")
+	}
+	stats := g.Update(prevBlocks, curBlocks, ECBS)
+	if !stats.Rebuilt {
+		t.Fatal("clean–clean → dirty flip must trigger a full rebuild")
+	}
+	graphsIdentical(t, "kb-departure", Build(curBlocks, ECBS), g)
+}
+
+// TestTombstonedBuildEqualsCompacted is the "never held them" proof at
+// the graph layer: a Build over a tombstoned collection equals, under
+// the order-preserving id mapping, a Build over a compacted collection
+// that never contained the evicted descriptions — same blocks, same
+// edges, identical float statistics and weights.
+func TestTombstonedBuildEqualsCompacted(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(174, 120, datagen.Center(), datagen.Periphery()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := w.Collection
+	for _, id := range interleaved(src)[5:17] {
+		src.Evict(id)
+	}
+	// Order-preserving map: tombstoned id → compacted id.
+	compact := kb.NewCollection()
+	idMap := make(map[int]int)
+	for id := 0; id < src.Len(); id++ {
+		if !src.Alive(id) {
+			continue
+		}
+		d := src.Desc(id)
+		idMap[id] = compact.Add(&kb.Description{URI: d.URI, KB: d.KB, Types: d.Types, Attrs: d.Attrs, Links: d.Links})
+	}
+	for _, scheme := range Schemes() {
+		got := Build(cleanedBlocks(src), scheme)
+		want := Build(cleanedBlocks(compact), scheme)
+		if len(got.Edges) != len(want.Edges) {
+			t.Fatalf("%v: %d edges, want %d", scheme, len(got.Edges), len(want.Edges))
+		}
+		for i := range got.Edges {
+			ge, we := got.Edges[i], want.Edges[i]
+			if idMap[ge.A] != we.A || idMap[ge.B] != we.B {
+				t.Fatalf("%v: edge %d maps to (%d,%d), want (%d,%d)",
+					scheme, i, idMap[ge.A], idMap[ge.B], we.A, we.B)
+			}
+			if ge.Weight != we.Weight {
+				t.Fatalf("%v: edge %d weight %v, want %v (not bit-identical)", scheme, i, ge.Weight, we.Weight)
+			}
+			if got.common[i] != want.common[i] || got.arcs[i] != want.arcs[i] {
+				t.Fatalf("%v: edge %d stats differ", scheme, i)
+			}
+		}
+	}
+}

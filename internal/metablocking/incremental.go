@@ -28,7 +28,8 @@ type UpdateStats struct {
 	EdgesTouched int
 	// Rebuilt reports that the update fell back to a full Build —
 	// taken only when the clean–clean setting itself flipped (a second
-	// KB appeared), which changes the pair semantics of every block.
+	// KB appeared, or eviction emptied all KBs but one), which changes
+	// the pair semantics of every block.
 	Rebuilt bool
 }
 
@@ -55,9 +56,10 @@ func (g *Graph) Update(oldCol, newCol *blocking.Collection, scheme Scheme) Updat
 func (g *Graph) UpdateStructure(oldCol, newCol *blocking.Collection, scheme Scheme) UpdateStats {
 	if oldCol.CleanClean != newCol.CleanClean {
 		// The comparable-pair semantics of every block changed (the
-		// collection crossed the one-KB → many-KB boundary): every
-		// block's comparison count and pair set is different, so there
-		// is no delta to exploit. Happens at most once per session.
+		// collection crossed the one-KB ↔ many-KB boundary — a second
+		// KB appearing on ingest, or eviction emptying all KBs but
+		// one): every block's comparison count and pair set is
+		// different, so there is no delta to exploit.
 		*g = *Build(newCol, scheme)
 		return UpdateStats{Rebuilt: true}
 	}
@@ -109,6 +111,7 @@ func (g *Graph) UpdateStructure(oldCol, newCol *blocking.Collection, scheme Sche
 	// Per-node block counts and the block total are integer recounts
 	// over the new collection — exact in any order, linear work.
 	g.NumNodes = numNodes
+	g.nLive = newCol.Source.NumAlive()
 	g.nBlock = newCol.NumBlocks()
 	g.blocks = make([]int32, numNodes)
 	for i := range newCol.Blocks {

@@ -84,6 +84,20 @@ type Graph struct {
 	blocks []int32   // blocks-per-node |Bv|
 	degree []int32   // distinct neighbors per node
 	nBlock int       // total number of blocks
+	nLive  int       // live (non-tombstoned) source descriptions
+}
+
+// LiveNodes returns how many of the graph's nodes are live source
+// descriptions. NumNodes keeps counting every allocated id — tombstoned
+// ids stay valid array indexes — but averages that mean "per
+// description" (CNP's default per-node budget) must divide by the live
+// count, or departed descriptions would dilute them. Equal to NumNodes
+// until something is evicted.
+func (g *Graph) LiveNodes() int {
+	if g.nLive > 0 || g.NumNodes == 0 {
+		return g.nLive
+	}
+	return g.NumNodes
 }
 
 // edgeStat is one distinct pair's aggregated evidence during graph
@@ -107,7 +121,7 @@ func edgeKey(a, b int32) uint64 {
 // at a time — the float accumulation order every parallel builder must
 // replay to stay bit-identical.
 func Build(col *blocking.Collection, scheme Scheme) *Graph {
-	g := &Graph{NumNodes: col.Source.Len(), nBlock: col.NumBlocks()}
+	g := &Graph{NumNodes: col.Source.Len(), nBlock: col.NumBlocks(), nLive: col.Source.NumAlive()}
 	g.blocks = make([]int32, g.NumNodes)
 	idx := make(map[uint64]int32)
 	var recs []edgeStat
@@ -369,8 +383,8 @@ func (g *Graph) pruneWNP(reciprocal bool) []Edge {
 
 func (g *Graph) pruneCNP(opts PruneOptions) []Edge {
 	k := opts.KPerNode
-	if k <= 0 && g.NumNodes > 0 {
-		k = (opts.Assignments + g.NumNodes - 1) / g.NumNodes
+	if live := g.LiveNodes(); k <= 0 && live > 0 {
+		k = (opts.Assignments + live - 1) / live
 	}
 	if k <= 0 {
 		k = 1

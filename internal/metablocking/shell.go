@@ -12,7 +12,7 @@ import (
 // AddEdgeStat and then call Finish — producing a graph identical to
 // what Build computes sequentially.
 func NewGraphShell(col *blocking.Collection) *Graph {
-	g := &Graph{NumNodes: col.Source.Len(), nBlock: col.NumBlocks()}
+	g := &Graph{NumNodes: col.Source.Len(), nBlock: col.NumBlocks(), nLive: col.Source.NumAlive()}
 	g.blocks = make([]int32, g.NumNodes)
 	for i := range col.Blocks {
 		for _, id := range col.Blocks[i].Entities {

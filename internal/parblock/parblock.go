@@ -27,9 +27,12 @@ import (
 // reduce materializes one block per token, and the driver discards
 // blocks that induce no comparisons.
 func TokenBlocking(src *kb.Collection, opts tokenize.Options, cfg mapreduce.Config) (*blocking.Collection, error) {
-	inputs := make([]string, src.Len())
-	for id := range inputs {
-		inputs[id] = strconv.Itoa(id)
+	inputs := make([]string, 0, src.Len())
+	for id := 0; id < src.Len(); id++ {
+		if !src.Alive(id) {
+			continue
+		}
+		inputs = append(inputs, strconv.Itoa(id))
 	}
 	job := mapreduce.Job{
 		Name: "token-blocking",
@@ -55,7 +58,7 @@ func TokenBlocking(src *kb.Collection, opts tokenize.Options, cfg mapreduce.Conf
 	if err != nil {
 		return nil, err
 	}
-	col := &blocking.Collection{Source: src, CleanClean: src.NumKBs() > 1}
+	col := &blocking.Collection{Source: src, CleanClean: src.NumLiveKBs() > 1}
 	for _, kv := range res.Output {
 		ids, err := parseIDs(kv.Value)
 		if err != nil {
@@ -235,8 +238,8 @@ func PruneNodeCentric(g *metablocking.Graph, alg metablocking.Pruning, opts meta
 	}
 	kPerNode := opts.KPerNode
 	if alg == metablocking.CNP && kPerNode <= 0 {
-		if g.NumNodes > 0 {
-			kPerNode = (opts.Assignments + g.NumNodes - 1) / g.NumNodes
+		if live := g.LiveNodes(); live > 0 {
+			kPerNode = (opts.Assignments + live - 1) / live
 		}
 		if kPerNode <= 0 {
 			kPerNode = 1

@@ -393,8 +393,8 @@ func pruneNode(g *metablocking.Graph, alg metablocking.Pruning, opts metablockin
 	kPerNode := 0
 	if alg == metablocking.CNP {
 		kPerNode = opts.KPerNode
-		if kPerNode <= 0 && g.NumNodes > 0 {
-			kPerNode = (opts.Assignments + g.NumNodes - 1) / g.NumNodes
+		if live := g.LiveNodes(); kPerNode <= 0 && live > 0 {
+			kPerNode = (opts.Assignments + live - 1) / live
 		}
 		if kPerNode <= 0 {
 			kPerNode = 1

@@ -1,0 +1,114 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kb"
+)
+
+// evict is the decremental front-end pass shared by every engine — the
+// deletion mirror of ingest. The source's tombstoned ids are spliced
+// out of the inverted index (copy-on-delete, touching only the
+// postings of tokens the departed descriptions carried), the raw
+// blocks are re-assembled, cleaning re-runs through the engine, the
+// blocking graph is driven down its block-shrinkage path — edges whose
+// blocks lost members re-accumulate, orphaned edges drop — and the
+// comparison list is re-pruned. st.Front afterwards equals a
+// from-scratch Run over the surviving source: the evicted
+// descriptions are indistinguishable from ones the corpus never held.
+func evict(e Engine, st *State, update updateFn) error {
+	// Un-folded live additions or merges would be silently dropped from
+	// the committed front-end; fail loudly instead, like ingest's
+	// source-shrank check. (The session layer always ingests before
+	// evicting; tombstoned tail ids are fine — they were never and will
+	// never be indexed.)
+	if st.src.HasMerged() || len(st.pendingMerged) > 0 {
+		return fmt.Errorf("pipeline(%s): evict: unfolded merges pending — ingest before evicting", e.Name())
+	}
+	for id := st.n; id < st.src.Len(); id++ {
+		if st.src.Alive(id) {
+			return fmt.Errorf("pipeline(%s): evict: unfolded additions pending — ingest before evicting", e.Name())
+		}
+	}
+	evicted := append(st.src.TakeEvicted(), st.pendingEvicted...)
+	st.pendingEvicted = evicted // restored to nil only when the pass commits
+	if len(evicted) == 0 {
+		return nil // nothing left: the state is already current
+	}
+	if st.postings == nil {
+		// First streaming operation of the session. buildIndex skips
+		// tombstones, so the index is born without the ids pending
+		// eviction — for them the splice below finds nothing to do, by
+		// design; the splice works for ids indexed by earlier passes.
+		st.buildIndex()
+	}
+
+	// Splice into an overlay: st.postings and st.keys are only written
+	// at commit time, after every fallible stage has succeeded, so a
+	// failed evict leaves the state intact and retryable. Only the
+	// postings of tokens carried by an evicted description are copied;
+	// every other token's posting — and the blocks aliasing it — is
+	// untouched.
+	upd := make(map[string][]int)
+	look := func(tok string) ([]int, bool) {
+		if p, ok := upd[tok]; ok {
+			return p, true
+		}
+		p, ok := st.postings[tok]
+		return p, ok
+	}
+	emptied := 0
+	for _, id := range kb.DedupSortedInts(evicted) {
+		if id >= st.n {
+			continue // tombstoned before it was ever folded in
+		}
+		for _, tok := range st.src.Tokens(id, st.opt.Tokenize) {
+			p, ok := look(tok)
+			if !ok {
+				continue
+			}
+			at := sort.SearchInts(p, id)
+			if at >= len(p) || p[at] != id {
+				continue // already spliced (a retried pass)
+			}
+			// Copy-on-delete: cleaned blocks may alias the old backing.
+			np := make([]int, 0, len(p)-1)
+			np = append(np, p[:at]...)
+			np = append(np, p[at+1:]...)
+			if len(np) == 0 {
+				emptied++
+			}
+			upd[tok] = np
+		}
+	}
+
+	fe, err := refront(e, st, "evict", st.keys, look, update)
+	if err != nil {
+		return err
+	}
+
+	// Commit: drained postings disappear from the index; the sorted key
+	// list shrinks with them, so the linear re-assembly never pays for
+	// tokens only departed descriptions carried.
+	for tok, p := range upd {
+		if len(p) == 0 {
+			delete(st.postings, tok)
+			continue
+		}
+		st.postings[tok] = p
+	}
+	if emptied > 0 {
+		kept := st.keys[:0]
+		for _, tok := range st.keys {
+			if _, ok := st.postings[tok]; ok {
+				kept = append(kept, tok)
+			}
+		}
+		st.keys = kept
+	}
+	st.src.DropTokens(evicted) // tombstones stop pinning token slices
+	st.pendingEvicted = nil
+	st.Front = fe
+	return nil
+}

@@ -1,0 +1,275 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/kb"
+	"repro/internal/metablocking"
+	"repro/internal/tokenize"
+)
+
+// TestEvictMatchesFromScratch is the front-end half of the deletion
+// guarantee: tombstoning descriptions in the source and folding the
+// departures through Engine.Evict in waves leaves the state's Front
+// equal to a from-scratch Run over the surviving corpus —
+// bit-identically on the sequential and shared engines, within the
+// documented float round-off on MapReduce — for every engine.
+func TestEvictMatchesFromScratch(t *testing.T) {
+	opt := Options{
+		Tokenize:    tokenize.Default(),
+		FilterRatio: 0.8,
+		Scheme:      metablocking.ECBS,
+		Pruning:     metablocking.WNP,
+	}
+	engines := []struct {
+		name  string
+		e     Engine
+		exact bool
+	}{
+		{"sequential", Sequential{}, true},
+		{"shared-2", Shared{Workers: 2}, true},
+		{"shared-4", Shared{Workers: 4}, true},
+		{"mapreduce-2", MapReduce{Workers: 2}, false},
+	}
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			w, err := datagen.Generate(datagen.TwoKBs(431, 150, datagen.Center(), datagen.Periphery()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := w.Collection
+			st, err := Start(eng.e, src, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			order := interleavedIDs(src)
+			waves := [][]int{order[4:10], {order[0]}, order[30:45]}
+			for wi, wave := range waves {
+				for _, id := range wave {
+					src.Evict(id)
+				}
+				if err := eng.e.Evict(st); err != nil {
+					t.Fatal(err)
+				}
+				if st.LastUpdate.Rebuilt {
+					t.Fatalf("wave %d: eviction fell back to a full graph rebuild", wi)
+				}
+				// The oracle: a from-scratch pass over the same surviving
+				// corpus on the same engine.
+				want, err := Run(eng.e, src, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("%s/wave=%d", eng.name, wi)
+				sameCollection(t, label, want.Blocks, st.Front.Blocks)
+				sameEdges(t, want.Edges, st.Front.Edges, eng.exact)
+			}
+			// The final state must also match the sequential reference.
+			wantSeq, err := Run(Sequential{}, src, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameCollection(t, eng.name+"/vs-sequential", wantSeq.Blocks, st.Front.Blocks)
+			sameEdges(t, wantSeq.Edges, st.Front.Edges, eng.exact)
+		})
+	}
+}
+
+// TestEvictInterleavedWithIngest alternates growth and shrinkage —
+// the steady state of a sliding-window session — and checks the state
+// equals a from-scratch pass after every step, including evicting a
+// description that an earlier ingest batch merged into.
+func TestEvictInterleavedWithIngest(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(432, 120, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := w.Collection
+	order := interleavedIDs(full)
+	n := full.Len()
+	opt := Options{
+		Tokenize:    tokenize.Default(),
+		FilterRatio: 0.8,
+		Scheme:      metablocking.ARCS,
+		Pruning:     metablocking.CNP,
+	}
+	for _, eng := range []Engine{Sequential{}, Shared{Workers: 4}} {
+		t.Run(eng.Name(), func(t *testing.T) {
+			grown := kb.NewCollection()
+			addRange(grown, full, order, 0, n/2)
+			st, err := Start(eng, grown, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(label string) {
+				t.Helper()
+				want, err := Run(eng, grown, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameCollection(t, label, want.Blocks, st.Front.Blocks)
+				sameEdges(t, want.Edges, st.Front.Edges, true)
+			}
+
+			// Ingest a batch that extends existing descriptions…
+			addRange(grown, full, order, n/2, 3*n/4)
+			d := full.Desc(order[2])
+			grown.Add(&kb.Description{URI: d.URI, KB: d.KB, Attrs: []kb.Attribute{
+				{Predicate: "late", Value: "lateinfo mergenote"},
+			}})
+			mergedID, _ := grown.IDOf(d.KB, d.URI)
+			if err := eng.Ingest(st); err != nil {
+				t.Fatal(err)
+			}
+			check("after-ingest")
+
+			// …evict some early ids, including the merged description…
+			for _, id := range []int{mergedID, 1, 5, 9} {
+				grown.Evict(id)
+			}
+			if err := eng.Evict(st); err != nil {
+				t.Fatal(err)
+			}
+			check("after-evict")
+
+			// …grow again: tokens the departed descriptions carried can
+			// return under new carriers.
+			addRange(grown, full, order, 3*n/4, n)
+			if err := eng.Ingest(st); err != nil {
+				t.Fatal(err)
+			}
+			check("after-regrow")
+
+			// Re-adding an evicted KB+URI opens a fresh id, not the dead one.
+			grown.Add(&kb.Description{URI: d.URI, KB: d.KB, Types: d.Types, Attrs: d.Attrs, Links: d.Links})
+			if backID, _ := grown.IDOf(d.KB, d.URI); backID == mergedID {
+				t.Fatal("re-added description reused a tombstoned id")
+			}
+			if err := eng.Ingest(st); err != nil {
+				t.Fatal(err)
+			}
+			check("after-readd")
+		})
+	}
+}
+
+// TestRestartOverTombstonedSource is the regression for the index
+// resurrection bug: a State started over a collection that already
+// carries tombstones builds its lazy inverted index on the first
+// streaming operation, and that index must be born without the dead
+// ids — otherwise the first ingest would resurrect them into blocks.
+func TestRestartOverTombstonedSource(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(434, 80, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := w.Collection
+	opt := Options{Tokenize: tokenize.Default(), FilterRatio: 0.8,
+		Scheme: metablocking.ECBS, Pruning: metablocking.WNP}
+
+	// Session 1 evicts and commits.
+	st1, err := Start(Sequential{}, src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{2, 3, 10, 11} {
+		src.Evict(id)
+	}
+	if err := (Sequential{}).Evict(st1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2 starts over the tombstoned collection and streams: the
+	// dead ids must stay invisible to its fresh index.
+	st2, err := Start(Sequential{}, src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Add(&kb.Description{URI: "http://late/x", KB: src.KBName(0),
+		Attrs: []kb.Attribute{{Predicate: "p", Value: "late arrival tokens"}}})
+	if err := (Sequential{}).Ingest(st2); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(Sequential{}, src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCollection(t, "restart", want.Blocks, st2.Front.Blocks)
+	sameEdges(t, want.Edges, st2.Front.Edges, true)
+	for i := range st2.Front.Blocks.Blocks {
+		for _, id := range st2.Front.Blocks.Blocks[i].Entities {
+			if !src.Alive(id) {
+				t.Fatalf("block %q resurrected dead id %d", st2.Front.Blocks.Blocks[i].Key, id)
+			}
+		}
+	}
+}
+
+// TestEvictEdgeCases pins the degenerate paths: evicting with nothing
+// pending, tombstoning an id the state never folded in, double
+// tombstones, and evicting the corpus down to empty must all leave the
+// state consistent with a from-scratch pass.
+func TestEvictEdgeCases(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(433, 40, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := w.Collection
+	opt := Options{Tokenize: tokenize.Default(), FilterRatio: 0.8,
+		Scheme: metablocking.ECBS, Pruning: metablocking.WNP}
+	st, err := Start(Sequential{}, src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing pending: a no-op that leaves Front untouched.
+	before := st.Front
+	if err := (Sequential{}).Evict(st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Front != before {
+		t.Fatal("no-op evict replaced the front-end state")
+	}
+
+	// Double tombstone: the second Evict call is a no-op in the source,
+	// so only one id reaches the state.
+	if !src.Evict(3) || src.Evict(3) {
+		t.Fatal("collection double-evict not idempotent")
+	}
+	// An id added and tombstoned before the state ever saw it.
+	ghost := src.Add(&kb.Description{URI: "http://ghost/x", KB: src.KBName(0),
+		Attrs: []kb.Attribute{{Predicate: "p", Value: "ghostly unique tokens"}}})
+	src.Evict(ghost)
+	if err := (Sequential{}).Evict(st); err != nil {
+		t.Fatal(err)
+	}
+	// Fold the (now tombstoned) addition through an ingest as well; it
+	// must be invisible.
+	if err := (Sequential{}).Ingest(st); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(Sequential{}, src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCollection(t, "ghost", want.Blocks, st.Front.Blocks)
+	sameEdges(t, want.Edges, st.Front.Edges, true)
+
+	// Evict everything: the front-end collapses to zero blocks and zero
+	// edges without error.
+	for id := 0; id < src.Len(); id++ {
+		src.Evict(id)
+	}
+	if err := (Sequential{}).Evict(st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Front.Blocks.NumBlocks() != 0 || len(st.Front.Edges) != 0 || st.Front.Graph.NumEdges() != 0 {
+		t.Fatalf("emptied corpus left %d blocks, %d graph edges, %d pruned edges",
+			st.Front.Blocks.NumBlocks(), st.Front.Graph.NumEdges(), len(st.Front.Edges))
+	}
+	if !st.InSync() {
+		t.Fatal("emptied state not in sync")
+	}
+}

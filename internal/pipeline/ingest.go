@@ -46,13 +46,32 @@ type State struct {
 	// them in (splicing is idempotent — ids insert only if absent).
 	pendingMerged []int
 
+	// pendingEvicted carries tombstoned ids taken from the source by an
+	// evict pass that later failed, so a retry still splices them out
+	// (removal is idempotent — ids are removed only if present).
+	pendingEvicted []int
+
 	cleaned *blocking.Collection // diff baseline for the graph update
 }
 
-// InSync reports that the state already covers every description and
-// merge in its source — an ingest now would be a no-op.
+// InSync reports that the state already covers every description,
+// merge, and eviction in its source — an ingest or evict now would be
+// a no-op.
 func (st *State) InSync() bool {
-	return st.src.Len() == st.n && !st.src.HasMerged() && len(st.pendingMerged) == 0
+	return st.src.Len() == st.n && !st.src.HasMerged() &&
+		len(st.pendingMerged) == 0 && !st.PendingEvictions()
+}
+
+// PendingEvictions reports whether the source holds tombstoned
+// descriptions the state has not spliced out yet.
+func (st *State) PendingEvictions() bool {
+	return st.src.HasEvicted() || len(st.pendingEvicted) > 0
+}
+
+// PendingIngest reports whether the source holds additions or merges
+// the state has not folded in yet.
+func (st *State) PendingIngest() bool {
+	return st.src.Len() != st.n || st.src.HasMerged() || len(st.pendingMerged) > 0
 }
 
 // Covered returns how many source descriptions the state has folded in.
@@ -75,18 +94,24 @@ func Start(e Engine, src *kb.Collection, opt Options) (*State, error) {
 		n:       src.Len(),
 		cleaned: fe.Blocks,
 	}
-	src.TakeMerged() // the full pass covered every description
+	src.TakeMerged()  // the full pass covered every description
+	src.TakeEvicted() // and skipped every tombstone
 	return st, nil
 }
 
-// buildIndex materializes the raw inverted index over the
+// buildIndex materializes the raw inverted index over the live
 // descriptions covered so far — including singleton postings, which a
-// later batch can grow into real blocks. Runs once, on the first real
-// ingest; the token cache is hot after Start's blocking pass, so this
-// is one scan.
+// later batch can grow into real blocks. Tombstoned ids are never
+// indexed, so evictions pending at this moment (and ids evicted before
+// a re-Start) need no splice: the index is born without them. Runs
+// once, on the first real streaming operation; the token cache is hot
+// after Start's blocking pass, so this is one scan.
 func (st *State) buildIndex() {
 	st.postings = make(map[string][]int)
 	for id := 0; id < st.n; id++ {
+		if !st.src.Alive(id) {
+			continue
+		}
 		for _, tok := range st.src.Tokens(id, st.opt.Tokenize) {
 			if _, seen := st.postings[tok]; !seen {
 				st.keys = append(st.keys, tok)
@@ -97,14 +122,68 @@ func (st *State) buildIndex() {
 	sort.Strings(st.keys)
 }
 
+// updateFn is an engine's incremental graph-update hook: it transforms
+// g from Build(oldCol) to Build(newCol) in place (structural diff plus
+// a reweigh, sharded or not).
+type updateFn func(g *metablocking.Graph, oldCol, newCol *blocking.Collection) metablocking.UpdateStats
+
+// refront is the shared tail of the incremental passes (ingest and
+// evict): re-assemble the raw blocks from the overlaid inverted index
+// (identical to a from-scratch token blocking over the live source, in
+// linear time), run engine-dispatched cleaning (global but linear —
+// the purge cap and filter ranks shift with every delta), drive the
+// delta graph update, and re-prune. The update mutates the graph in
+// place, so the diff baseline advances with it in the same step — if
+// pruning fails, a retry diffs from the collection the graph actually
+// reflects.
+func refront(e Engine, st *State, kind string, keys []string,
+	look func(tok string) ([]int, bool), update updateFn) (*FrontEnd, error) {
+	raw := &blocking.Collection{Source: st.src, CleanClean: st.src.NumLiveKBs() > 1}
+	for _, tok := range keys {
+		ids, _ := look(tok)
+		if len(ids) < 2 {
+			continue
+		}
+		b := blocking.Block{Key: tok, Entities: ids}
+		if b.Comparisons(st.src, raw.CleanClean) == 0 {
+			continue
+		}
+		raw.Blocks = append(raw.Blocks, b)
+	}
+
+	col := raw
+	var err error
+	if st.opt.PurgeMaxBlockSize >= 0 {
+		if col, err = e.Purge(col, st.opt.PurgeMaxBlockSize); err != nil {
+			return nil, fmt.Errorf("pipeline(%s): %s purge: %w", e.Name(), kind, err)
+		}
+	}
+	if st.opt.FilterRatio > 0 {
+		if col, err = e.Filter(col, st.opt.FilterRatio); err != nil {
+			return nil, fmt.Errorf("pipeline(%s): %s filter: %w", e.Name(), kind, err)
+		}
+	}
+
+	g := st.Front.Graph
+	st.LastUpdate = update(g, st.cleaned, col)
+	st.cleaned = col
+	edges, err := e.Prune(g, st.opt.Pruning, metablocking.PruneOptions{
+		Reciprocal:  st.opt.Reciprocal,
+		Assignments: col.Assignments(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline(%s): %s pruning: %w", e.Name(), kind, err)
+	}
+	return &FrontEnd{Blocks: col, Graph: g, Edges: edges}, nil
+}
+
 // ingest is the incremental front-end pass shared by every engine:
 // delta tokenization, append-only extension of the inverted index,
 // re-assembly of the raw blocks (linear), engine-dispatched cleaning,
 // the delta graph update (via the engine's update hook — structural
 // diff plus a full reweigh), and engine-dispatched pruning. warm
 // optionally pre-fills the source's token cache in parallel.
-func ingest(e Engine, st *State, warm func(),
-	update func(g *metablocking.Graph, oldCol, newCol *blocking.Collection) metablocking.UpdateStats) error {
+func ingest(e Engine, st *State, warm func(), update updateFn) error {
 	n := st.src.Len()
 	if n < st.n {
 		return fmt.Errorf("pipeline(%s): ingest: source shrank from %d to %d descriptions", e.Name(), st.n, n)
@@ -136,9 +215,13 @@ func ingest(e Engine, st *State, warm func(),
 		return p, ok
 	}
 	// New ids append in ascending order, so postings stay sorted and
-	// duplicate-free without re-sorting.
+	// duplicate-free without re-sorting. Ids tombstoned before they
+	// were ever folded in are skipped — the index never learns them.
 	var newKeys []string
 	for id := st.n; id < n; id++ {
+		if !st.src.Alive(id) {
+			continue
+		}
 		for _, tok := range st.src.Tokens(id, st.opt.Tokenize) {
 			p, seen := look(tok)
 			if !seen {
@@ -150,8 +233,8 @@ func ingest(e Engine, st *State, warm func(),
 	// Merged descriptions only ever gain tokens; splice their id into
 	// the postings of tokens they did not carry before.
 	for _, id := range merged {
-		if id >= st.n {
-			continue // new since the last pass: already fully indexed
+		if id >= st.n || !st.src.Alive(id) {
+			continue // new since the last pass (already fully indexed) or gone
 		}
 		for _, tok := range st.src.Tokens(id, st.opt.Tokenize) {
 			p, seen := look(tok)
@@ -178,50 +261,9 @@ func ingest(e Engine, st *State, warm func(),
 		keys = mergeKeys(st.keys, newKeys)
 	}
 
-	// Re-assemble the raw blocks from the index — identical to a
-	// from-scratch token blocking over the source, in linear time.
-	raw := &blocking.Collection{Source: st.src, CleanClean: st.src.NumKBs() > 1}
-	for _, tok := range keys {
-		ids, _ := look(tok)
-		if len(ids) < 2 {
-			continue
-		}
-		b := blocking.Block{Key: tok, Entities: ids}
-		if b.Comparisons(st.src, raw.CleanClean) == 0 {
-			continue
-		}
-		raw.Blocks = append(raw.Blocks, b)
-	}
-
-	// Cleaning is global (the purge cap and filter ranks shift with
-	// every batch) but linear; it dispatches through the engine.
-	col := raw
-	var err error
-	if st.opt.PurgeMaxBlockSize >= 0 {
-		if col, err = e.Purge(col, st.opt.PurgeMaxBlockSize); err != nil {
-			return fmt.Errorf("pipeline(%s): ingest purge: %w", e.Name(), err)
-		}
-	}
-	if st.opt.FilterRatio > 0 {
-		if col, err = e.Filter(col, st.opt.FilterRatio); err != nil {
-			return fmt.Errorf("pipeline(%s): ingest filter: %w", e.Name(), err)
-		}
-	}
-
-	// Delta graph update: only edges incident to changed blocks are
-	// recomputed; weights are refreshed globally. The update mutates
-	// the graph in place, so the diff baseline advances with it, in the
-	// same step — if pruning below fails, a retry diffs from the
-	// collection this graph actually reflects.
-	g := st.Front.Graph
-	st.LastUpdate = update(g, st.cleaned, col)
-	st.cleaned = col
-	edges, err := e.Prune(g, st.opt.Pruning, metablocking.PruneOptions{
-		Reciprocal:  st.opt.Reciprocal,
-		Assignments: col.Assignments(),
-	})
+	fe, err := refront(e, st, "ingest", keys, look, update)
 	if err != nil {
-		return fmt.Errorf("pipeline(%s): ingest pruning: %w", e.Name(), err)
+		return err
 	}
 
 	// Commit: every fallible stage succeeded. (The index overlay is
@@ -233,7 +275,7 @@ func ingest(e Engine, st *State, warm func(),
 	st.keys = keys
 	st.pendingMerged = nil
 	st.n = n
-	st.Front = &FrontEnd{Blocks: col, Graph: g, Edges: edges}
+	st.Front = fe
 	return nil
 }
 

@@ -65,3 +65,14 @@ func (e MapReduce) Ingest(st *State) error {
 			return g.Update(oldCol, newCol, st.opt.Scheme)
 		})
 }
+
+// Evict implements Engine: the decremental pass with cleaning and
+// pruning dispatched through this engine's dataflow jobs; the index
+// splice and graph diff run the sequential reference, exactly as in
+// Ingest — the deltas are small by construction.
+func (e MapReduce) Evict(st *State) error {
+	return evict(e, st,
+		func(g *metablocking.Graph, oldCol, newCol *blocking.Collection) metablocking.UpdateStats {
+			return g.Update(oldCol, newCol, st.opt.Scheme)
+		})
+}

@@ -67,6 +67,16 @@ type Engine interface {
 	// sequential and shared engines, up to the documented float
 	// round-off on MapReduce-built graphs.
 	Ingest(st *State) error
+	// Evict splices every description tombstoned in the state's source
+	// since the last pass out of the front-end incrementally: the
+	// departed ids leave the inverted index (copy-on-delete of only the
+	// postings they appeared in), cleaning re-runs, the graph update
+	// runs down its block-shrinkage path — edges whose blocks lost
+	// members re-accumulate, orphaned edges drop — and the comparison
+	// list is re-pruned. st.Front afterwards equals a from-scratch Run
+	// over the surviving source, with the same bit-identity contract as
+	// Ingest.
+	Evict(st *State) error
 }
 
 // Select resolves a (workers, mapReduce) configuration to its engine —

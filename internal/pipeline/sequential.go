@@ -50,3 +50,13 @@ func (Sequential) Ingest(st *State) error {
 			return g.Update(oldCol, newCol, st.opt.Scheme)
 		})
 }
+
+// Evict implements Engine: the single-threaded reference realization
+// of the decremental pass — every other engine's Evict must produce
+// the same state.
+func (Sequential) Evict(st *State) error {
+	return evict(Sequential{}, st,
+		func(g *metablocking.Graph, oldCol, newCol *blocking.Collection) metablocking.UpdateStats {
+			return g.Update(oldCol, newCol, st.opt.Scheme)
+		})
+}

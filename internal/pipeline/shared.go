@@ -43,7 +43,7 @@ const partsPerWorker = 4
 // ascending id ranges), and a parallel merge of the per-partition
 // sorted runs into the global key order.
 func (e Shared) TokenBlocking(src *kb.Collection, opts tokenize.Options) (*blocking.Collection, error) {
-	col := &blocking.Collection{Source: src, CleanClean: src.NumKBs() > 1}
+	col := &blocking.Collection{Source: src, CleanClean: src.NumLiveKBs() > 1}
 	if src.Len() == 0 {
 		return col, nil
 	}
@@ -64,6 +64,9 @@ func (e Shared) TokenBlocking(src *kb.Collection, opts tokenize.Options) (*block
 			defer wg.Done()
 			parts := make([]map[string][]int, nParts)
 			for id := r.Lo; id < r.Hi; id++ {
+				if !src.Alive(id) {
+					continue // tombstoned; the cache may still hold its tokens
+				}
 				for _, tok := range tokens[id] {
 					p := tokenPartition(tok, nParts)
 					m := parts[p]
@@ -414,6 +417,17 @@ func (e Shared) Prune(g *metablocking.Graph, alg metablocking.Pruning, opts meta
 func (e Shared) Ingest(st *State) error {
 	warm := func() { st.src.WarmTokens(st.opt.Tokenize, e.Workers) }
 	return ingest(e, st, warm,
+		func(g *metablocking.Graph, oldCol, newCol *blocking.Collection) metablocking.UpdateStats {
+			return parmeta.Update(g, oldCol, newCol, st.opt.Scheme, e.Workers)
+		})
+}
+
+// Evict implements Engine: the shared decremental pass. The index
+// splice is sequential (proportional to the departed descriptions'
+// tokens), while cleaning, the reweigh half of the graph update, and
+// pruning run this engine's sharded stages.
+func (e Shared) Evict(st *State) error {
+	return evict(e, st,
 		func(g *metablocking.Graph, oldCol, newCol *blocking.Collection) metablocking.UpdateStats {
 			return parmeta.Update(g, oldCol, newCol, st.opt.Scheme, e.Workers)
 		})

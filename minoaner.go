@@ -20,6 +20,7 @@
 package minoaner
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -35,6 +36,15 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/tokenize"
 )
+
+// ErrUnknownDescription reports an Evict of a reference the session
+// does not hold — never loaded, or already evicted. Test with
+// errors.Is; the wrapping error names the offending reference.
+var ErrUnknownDescription = errors.New("unknown description")
+
+// ErrUnknownKB reports an EvictKB of a name no loaded description ever
+// carried. Test with errors.Is.
+var ErrUnknownKB = errors.New("unknown knowledge base")
 
 // Scheme selects the meta-blocking edge-weighting scheme.
 type Scheme = metablocking.Scheme
@@ -129,6 +139,18 @@ type Config struct {
 	// setting produces identical results, including a bit-identical
 	// progressive trace.
 	Workers int
+	// TTL, when positive, turns every Session into a sliding window
+	// over ingest batches: descriptions loaded before Start belong to
+	// batch 0, the i-th Ingest/IngestKB call (or post-Start load) is
+	// batch i, and after batch i is folded in, every description whose
+	// batch index is at most i−TTL is evicted automatically — exactly
+	// as if Session.Evict had named it. TTL counts the batch that
+	// first brought a description; extending it in a later batch does
+	// not refresh its age, and nothing expires while no new batch
+	// arrives — an ingest call that brings no data (an empty batch or
+	// document) is not a batch and leaves the window untouched.
+	// 0 (the default) disables the window.
+	TTL int
 	// MapReduce routes the front-end stages through the in-process
 	// MapReduce engine (internal/parblock) instead of the
 	// shared-memory one when Workers resolves to more than 1 — the
@@ -238,17 +260,29 @@ func New(cfg Config) *Pipeline {
 // owl:sameAs statements are ignored (they are ground truth, not
 // evidence). Loading several streams under one name merges them;
 // loading distinct names enables clean–clean resolution across them.
+//
+// After Start, loading routes through the current session's streaming
+// path (the equivalent of Session.IngestKB), so the live session never
+// silently desynchronizes from the shared collection; once a newer
+// Start supersedes that session, loading refuses instead.
 func (p *Pipeline) LoadKB(name string, r io.Reader) error {
 	if name == "" {
 		return fmt.Errorf("minoaner: KB name must not be empty")
 	}
+	if s := p.current; s != nil {
+		return s.IngestKB(name, r)
+	}
 	return p.col.Load(name, r)
 }
 
-// LoadKBTurtle reads a Turtle stream as one knowledge base.
+// LoadKBTurtle reads a Turtle stream as one knowledge base. After
+// Start it streams into the current session, like LoadKB.
 func (p *Pipeline) LoadKBTurtle(name string, r io.Reader) error {
 	if name == "" {
 		return fmt.Errorf("minoaner: KB name must not be empty")
+	}
+	if s := p.current; s != nil {
+		return s.ingestBatch(func() error { return p.col.LoadTurtle(name, r) })
 	}
 	return p.col.LoadTurtle(name, r)
 }
@@ -256,10 +290,14 @@ func (p *Pipeline) LoadKBTurtle(name string, r io.Reader) error {
 // LoadQuads reads an N-Quads stream, mapping each named graph to its
 // own knowledge base — the layout of Web-crawl corpora (BTC), where
 // the graph label records the publishing dataset. Statements in the
-// default graph land in defaultKB.
+// default graph land in defaultKB. After Start it streams into the
+// current session, like LoadKB.
 func (p *Pipeline) LoadQuads(defaultKB string, r io.Reader) error {
 	if defaultKB == "" {
 		return fmt.Errorf("minoaner: default KB name must not be empty")
+	}
+	if s := p.current; s != nil {
+		return s.ingestBatch(func() error { return p.col.LoadQuads(defaultKB, r) })
 	}
 	return p.col.LoadQuads(defaultKB, r)
 }
@@ -280,7 +318,8 @@ func (p *Pipeline) LoadKBFile(name, path string) error {
 
 // AddDescription inserts one description directly (for programmatic
 // construction without RDF). Attribute values carry token evidence;
-// links name other descriptions' URIs in the same KB.
+// links name other descriptions' URIs in the same KB. After Start it
+// streams into the current session, like Add.
 func (p *Pipeline) AddDescription(kbName, uri string, attrs map[string]string, links []string) error {
 	if kbName == "" || uri == "" {
 		return fmt.Errorf("minoaner: KB name and URI must not be empty")
@@ -294,29 +333,51 @@ func (p *Pipeline) AddDescription(kbName, uri string, attrs map[string]string, l
 	for _, k := range keys {
 		d.Attrs = append(d.Attrs, kb.Attribute{Predicate: k, Value: attrs[k]})
 	}
+	if s := p.current; s != nil {
+		return s.ingestBatch(func() error { p.col.Add(d); return nil })
+	}
 	p.col.Add(d)
 	return nil
 }
 
 // Add inserts descriptions directly, preserving attribute order — the
 // pre-Start counterpart of Session.Ingest. Adding a KB+URI that
-// already exists extends the existing description.
+// already exists extends the existing description. After Start the
+// batch streams into the current session exactly as Session.Ingest
+// would take it, so the live session stays in sync; once a newer Start
+// supersedes that session, Add refuses instead.
 func (p *Pipeline) Add(batch []Description) error {
+	if err := validateBatch(batch); err != nil {
+		return err
+	}
+	if s := p.current; s != nil {
+		return s.ingestBatch(func() error { p.addRaw(batch); return nil })
+	}
+	p.addRaw(batch)
+	return nil
+}
+
+func validateBatch(batch []Description) error {
 	for _, d := range batch {
 		if d.KB == "" || d.URI == "" {
 			return fmt.Errorf("minoaner: KB name and URI must not be empty")
 		}
 	}
+	return nil
+}
+
+// addRaw inserts a validated batch into the shared collection without
+// touching any session — callers route session synchronization.
+func (p *Pipeline) addRaw(batch []Description) {
 	for _, d := range batch {
 		p.col.Add(&kb.Description{
 			URI: d.URI, KB: d.KB, Types: d.Types, Attrs: d.Attrs, Links: d.Links,
 		})
 	}
-	return nil
 }
 
-// NumDescriptions returns how many descriptions are loaded.
-func (p *Pipeline) NumDescriptions() int { return p.col.Len() }
+// NumDescriptions returns how many live descriptions are loaded.
+func (p *Pipeline) NumDescriptions() int { return p.col.NumAlive() }
 
 // Resolve runs the full pipeline with an unlimited comparison budget.
 func (p *Pipeline) Resolve() (*Result, error) { return p.ResolveBudget(0) }
@@ -344,7 +405,11 @@ func (p *Pipeline) ResolveBudget(budget int) (*Result, error) {
 // the blocking graph is updated in its affected neighborhood instead
 // of rebuilt — with the guarantee that ingesting a corpus in any
 // number of batches and then resolving produces exactly the state a
-// from-scratch session over the whole corpus would.
+// from-scratch session over the whole corpus would. Evict and EvictKB
+// are the deletion mirror: descriptions leave the live session with
+// the guarantee that the surviving state is exactly that of a
+// from-scratch session over a corpus that never held them. Config.TTL
+// drives Evict automatically as a sliding window over ingest batches.
 type Session struct {
 	p        *Pipeline
 	eng      pipeline.Engine
@@ -353,6 +418,16 @@ type Session struct {
 	matcher  *match.Matcher
 	base     Stats
 	trace    []core.Step
+	// gens records, per description id, the index of the ingest batch
+	// that first brought it (Start's corpus is batch 0) — the age TTL
+	// expires on. Ids are stamped in batch order, so the array is
+	// non-decreasing and the expired set is always a prefix; expired is
+	// the cursor behind which everything has been evicted. Only
+	// maintained when Config.TTL > 0.
+	gens    []int
+	expired int
+	// curGen counts ingest batches, TTL or not.
+	curGen int
 }
 
 // Start freezes the loaded KBs and prepares the comparison queue.
@@ -367,7 +442,7 @@ type Session struct {
 // committer replays the exact sequential schedule. The results are
 // bit-identical whichever engine runs and whatever the worker count.
 func (p *Pipeline) Start() (*Session, error) {
-	if p.col.Len() == 0 {
+	if p.col.NumAlive() == 0 {
 		return nil, fmt.Errorf("minoaner: no descriptions loaded")
 	}
 	eng := pipeline.Select(p.cfg.Workers, p.cfg.MapReduce)
@@ -397,6 +472,9 @@ func (p *Pipeline) Start() (*Session, error) {
 		resolver: resolver,
 		matcher:  matcher,
 	}
+	if p.cfg.TTL > 0 {
+		s.gens = make([]int, p.col.Len()) // everything loaded so far is batch 0
+	}
 	p.current = s
 	s.refreshStats()
 	return s, nil
@@ -411,8 +489,8 @@ func (p *Pipeline) Start() (*Session, error) {
 func (s *Session) refreshStats() {
 	fe := s.fstate.Front
 	s.base = Stats{
-		Descriptions:    s.p.col.Len(),
-		KBs:             s.p.col.NumKBs(),
+		Descriptions:    s.p.col.NumAlive(),
+		KBs:             s.p.col.NumLiveKBs(),
 		BruteForce:      bruteForce(s.p.col),
 		Blocks:          fe.Blocks.NumBlocks(),
 		BlockCandidates: fe.Graph.NumEdges(),
@@ -504,24 +582,22 @@ type Description struct {
 // session's state. A superseded session keeps resolving its frozen
 // view; only Ingest/IngestKB refuse.
 func (s *Session) Ingest(batch []Description) error {
-	if err := s.ingestable(); err != nil {
+	if err := validateBatch(batch); err != nil {
 		return err
 	}
-	if err := s.p.Add(batch); err != nil {
-		return err
-	}
-	return s.sync()
+	return s.ingestBatch(func() error { s.p.addRaw(batch); return nil })
 }
 
-// ingestable refuses streaming for any session but the pipeline's
-// current (most recent) one — before anything mutates the shared
-// collection. Sessions share that collection, and the incremental
-// index's merge tracking is single-consumer: an older session
-// ingesting would silently desynchronize the newer ones. The current
-// session always may; superseded sessions keep their frozen view.
+// ingestable refuses streaming — ingestion and eviction alike — for
+// any session but the pipeline's current (most recent) one, before
+// anything mutates the shared collection. Sessions share that
+// collection, and the incremental index's merge and tombstone tracking
+// is single-consumer: an older session mutating would silently
+// desynchronize the newer ones. The current session always may;
+// superseded sessions keep resolving their frozen view.
 func (s *Session) ingestable() error {
 	if s.p.current != s {
-		return fmt.Errorf("minoaner: ingest requires the pipeline's current session (a newer Start superseded this one)")
+		return fmt.Errorf("minoaner: streaming requires the pipeline's current session (a newer Start superseded this one)")
 	}
 	return nil
 }
@@ -533,34 +609,192 @@ func (s *Session) IngestKB(name string, r io.Reader) error {
 	if name == "" {
 		return fmt.Errorf("minoaner: KB name must not be empty")
 	}
+	return s.ingestBatch(func() error { return s.p.col.Load(name, r) })
+}
+
+// Evict removes descriptions from the live session. Every reference
+// must name a description the session currently holds; otherwise —
+// never loaded, already evicted, a typo — nothing is evicted and the
+// error wraps ErrUnknownDescription. Duplicate references within one
+// call collapse to one eviction.
+//
+// The front-end state retreats incrementally: the departed ids are
+// spliced out of the inverted token index, the blocking graph is
+// driven down its block-shrinkage path — only edges whose blocks lost
+// members are touched; orphaned edges drop — the matcher re-learns its
+// global IDF weights over the survivors (linear work), and the
+// resolution state is retracted: pairs touching evicted descriptions
+// leave the queue and the trace, clusters containing them split with
+// the surviving match history replayed minus the evicted members, and
+// confirmed matches among survivors stay resolved.
+//
+// Equivalence guarantee, mirroring Ingest's: for any interleaving of
+// Ingest and Evict calls before comparisons are spent, a subsequent
+// Resume produces exactly what a from-scratch session over the
+// surviving corpus would — the same trace bit for bit (modulo the
+// densely re-assigned ids a fresh load implies), for any worker count
+// and any budget, on the sequential and shared engines (MapReduce
+// within its documented round-off). Evicting after comparisons have
+// been spent keeps monotone semantics: surviving matches stay
+// resolved, executed surviving pairs are not re-spent, and pairs whose
+// failed comparison was decided under the departed corpus's IDF
+// weights re-open as rechecks.
+//
+// Like Ingest, Evict requires the Session to be its Pipeline's current
+// one.
+func (s *Session) Evict(refs []Ref) error {
 	if err := s.ingestable(); err != nil {
 		return err
 	}
-	if err := s.p.col.Load(name, r); err != nil {
-		return fmt.Errorf("minoaner: %w", err)
+	if err := s.syncFront(); err != nil {
+		return err // fold any stranded additions before resolving refs
 	}
-	return s.sync()
+	if len(refs) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(refs))
+	for _, r := range refs {
+		id, ok := s.p.col.IDOf(r.KB, r.URI)
+		if !ok {
+			return fmt.Errorf("minoaner: evict %s/%s: %w", r.KB, r.URI, ErrUnknownDescription)
+		}
+		ids = append(ids, id)
+	}
+	changed := false
+	for _, id := range ids {
+		if s.p.col.Evict(id) {
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	return s.syncFront()
 }
 
-// sync folds every description added to the collection since the last
-// Start/Ingest into the session: the engine advances the front-end
-// state incrementally, the matcher is rebuilt (IDF weights are global
-// — linear work), and the resolver is reseeded with the re-pruned
-// comparison list.
-func (s *Session) sync() error {
+// EvictKB removes every description of the named knowledge base from
+// the live session — the wholesale form of Evict for a stale dump or a
+// retracted source. A name no description ever carried is an error
+// wrapping ErrUnknownKB; a KB already evicted down to empty is a clean
+// no-op.
+func (s *Session) EvictKB(name string) error {
 	if err := s.ingestable(); err != nil {
-		return err // defense in depth; Ingest/IngestKB check first
+		return err
 	}
-	if s.fstate.InSync() {
-		return nil // nothing new arrived since the last pass
+	if name == "" {
+		return fmt.Errorf("minoaner: KB name must not be empty")
 	}
-	if err := s.eng.Ingest(s.fstate); err != nil {
+	if err := s.syncFront(); err != nil {
+		return err
+	}
+	if !s.p.col.HasKB(name) {
+		return fmt.Errorf("minoaner: evict KB %q: %w", name, ErrUnknownKB)
+	}
+	ids := s.p.col.LiveIDsOfKB(name)
+	if len(ids) == 0 {
+		return nil
+	}
+	for _, id := range ids {
+		s.p.col.Evict(id)
+	}
+	return s.syncFront()
+}
+
+// ingestBatch runs one streaming ingest: the load callback mutates the
+// shared collection, the batch counter advances (the TTL clock), and
+// the session synchronizes — folding the additions in and expiring
+// anything that slid out of the TTL window. A load that brings nothing
+// — an empty batch, an empty document — is a no-op and does not
+// advance the clock: only arriving data slides the TTL window.
+func (s *Session) ingestBatch(load func() error) error {
+	if err := s.ingestable(); err != nil {
+		return err
+	}
+	beforeLen, beforeMerges := s.p.col.Len(), s.p.col.PendingMerges()
+	if err := load(); err != nil {
 		return fmt.Errorf("minoaner: %w", err)
 	}
+	// Deltas, not absolutes: merges stranded by an earlier failed load
+	// must not make a later empty call count as a batch.
+	if s.p.col.Len() > beforeLen || s.p.col.PendingMerges() > beforeMerges {
+		s.curGen++
+	}
+	return s.syncFront()
+}
+
+// syncFront folds every pending mutation of the shared collection into
+// the session. Additions advance the front-end through the engine's
+// Ingest; then, with TTL active, descriptions that slid out of the
+// window are tombstoned; evictions retreat the front-end through the
+// engine's Evict. The matcher is rebuilt whenever anything changed
+// (IDF weights are global — linear work). After a pure ingest the
+// resolver is reseeded (resolution is monotonic); after any eviction
+// it is retracted — the trace drops the steps touching departed
+// descriptions and the surviving history is replayed.
+func (s *Session) syncFront() error {
+	if err := s.ingestable(); err != nil {
+		return err // defense in depth; the public entry points check first
+	}
+	ingested := false
+	if s.fstate.PendingIngest() {
+		if err := s.eng.Ingest(s.fstate); err != nil {
+			return fmt.Errorf("minoaner: %w", err)
+		}
+		ingested = true
+	}
+	s.expireTTL()
+	evicted := false
+	if s.fstate.PendingEvictions() {
+		if err := s.eng.Evict(s.fstate); err != nil {
+			return fmt.Errorf("minoaner: %w", err)
+		}
+		evicted = true
+	}
+	if !ingested && !evicted {
+		return nil // nothing new arrived or departed since the last pass
+	}
 	s.matcher = match.NewMatcher(s.p.col, s.p.cfg.Match)
-	s.resolver.Reseed(s.matcher, s.fstate.Front.Edges)
+	if evicted {
+		s.trace = filterAliveSteps(s.trace, s.p.col)
+		s.resolver.Retract(s.matcher, s.fstate.Front.Edges, s.trace)
+	} else {
+		s.resolver.Reseed(s.matcher, s.fstate.Front.Edges)
+	}
 	s.refreshStats()
 	return nil
+}
+
+// expireTTL tombstones every description whose ingest batch slid out
+// of the TTL window. Ids are stamped in batch order, so the expired
+// region is a prefix and the scan resumes at a cursor — total expiry
+// work over a session's lifetime is linear in the ids ever stamped.
+func (s *Session) expireTTL() {
+	ttl := s.p.cfg.TTL
+	if ttl <= 0 {
+		return
+	}
+	// Stamp ids that arrived since the last pass with the current batch.
+	for id := len(s.gens); id < s.p.col.Len(); id++ {
+		s.gens = append(s.gens, s.curGen)
+	}
+	cutoff := s.curGen - ttl
+	for s.expired < len(s.gens) && s.gens[s.expired] <= cutoff {
+		s.p.col.Evict(s.expired) // no-op when already evicted by hand
+		s.expired++
+	}
+}
+
+// filterAliveSteps drops trace steps touching evicted descriptions, in
+// place: the surviving history reads exactly as if those comparisons
+// had never been scheduled.
+func filterAliveSteps(steps []core.Step, col *kb.Collection) []core.Step {
+	kept := steps[:0]
+	for _, st := range steps {
+		if col.Alive(st.A) && col.Alive(st.B) {
+			kept = append(kept, st)
+		}
+	}
+	return kept
 }
 
 func (p *Pipeline) ref(id int) Ref {
@@ -569,14 +803,16 @@ func (p *Pipeline) ref(id int) Ref {
 }
 
 func bruteForce(c *kb.Collection) int {
-	n := c.Len()
+	n := c.NumAlive()
 	total := n * (n - 1) / 2
-	if c.NumKBs() <= 1 {
+	if c.NumLiveKBs() <= 1 {
 		return total
 	}
 	perKB := make([]int, c.NumKBs())
-	for id := 0; id < n; id++ {
-		perKB[c.KBOf(id)]++
+	for id := 0; id < c.Len(); id++ {
+		if c.Alive(id) {
+			perKB[c.KBOf(id)]++
+		}
 	}
 	for _, k := range perKB {
 		total -= k * (k - 1) / 2
