@@ -4,23 +4,36 @@
 // Usage:
 //
 //	minoaner -kb dbp=dbpedia.nt -kb geo=geonames.nt [-budget N] [-out links.nt]
+//	minoaner serve -kb dbp=dbpedia.nt -kb geo=geonames.nt [-addr host:port] [-budget N]
 //
 // Each -kb flag names one knowledge base and its N-Triples file.
 // With a single KB the run is dirty ER (duplicates within the KB);
 // with several it is clean–clean ER across them. -budget caps the
 // number of comparisons (pay-as-you-go); 0 means run to completion.
+//
+// The serve subcommand keeps the resolved session alive behind an HTTP
+// API (see internal/server): snapshot reads on GET /resolve, /clusters,
+// /sameas, and /status; single-writer mutations on POST /ingest,
+// /evict, and /resume. SIGINT/SIGTERM shut it down cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	minoaner "repro"
 	"repro/internal/blocking"
 	"repro/internal/eval"
 	"repro/internal/kb"
+	"repro/internal/server"
 )
 
 type kbFlags []string
@@ -43,6 +56,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], nil, nil)
+	}
 	fs := flag.NewFlagSet("minoaner", flag.ContinueOnError)
 	var kbs kbFlags
 	fs.Var(&kbs, "kb", "knowledge base as name=path.nt (repeatable)")
@@ -64,16 +80,11 @@ func run(args []string) error {
 	cfg := minoaner.Defaults()
 	cfg.Workers = *workers
 	cfg.MapReduce = *mr
-	switch *clustering {
-	case "closure":
-		cfg.Clustering = minoaner.TransitiveClosure
-	case "center":
-		cfg.Clustering = minoaner.CenterClustering
-	case "unique":
-		cfg.Clustering = minoaner.UniqueMappingClustering
-	default:
-		return fmt.Errorf("unknown -clustering %q (want closure, center, or unique)", *clustering)
+	alg, err := clusteringAlg(*clustering)
+	if err != nil {
+		return err
 	}
+	cfg.Clustering = alg
 	p := minoaner.New(cfg)
 	for _, spec := range kbs {
 		name, path, _ := strings.Cut(spec, "=")
@@ -115,6 +126,115 @@ func run(args []string) error {
 		return fmt.Errorf("write %s: %w", *out, err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d links to %s\n", len(res.Matches), *out)
+	return nil
+}
+
+func clusteringAlg(name string) (minoaner.Clustering, error) {
+	switch name {
+	case "closure":
+		return minoaner.TransitiveClosure, nil
+	case "center":
+		return minoaner.CenterClustering, nil
+	case "unique":
+		return minoaner.UniqueMappingClustering, nil
+	default:
+		return 0, fmt.Errorf("unknown -clustering %q (want closure, center, or unique)", name)
+	}
+}
+
+// runServe implements the serve subcommand: load the KBs, resolve the
+// initial corpus under -budget, then keep the session alive behind the
+// HTTP API until a signal (or quit, in tests) shuts it down.
+//
+// ready, when non-nil, receives the bound listener address once the
+// server accepts connections; quit, when non-nil, replaces the signal
+// handler as the shutdown trigger. Both exist so tests can drive a
+// full serve lifecycle in-process; main passes nil for both.
+func runServe(args []string, ready chan<- net.Addr, quit <-chan struct{}) error {
+	fs := flag.NewFlagSet("minoaner serve", flag.ContinueOnError)
+	var kbs kbFlags
+	fs.Var(&kbs, "kb", "knowledge base as name=path.nt (repeatable)")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 = ephemeral)")
+	budget := fs.Int("budget", 0, "initial comparison budget before serving (0 = resolve fully)")
+	workers := fs.Int("workers", 0, "pipeline workers (0 = one per CPU, 1 = sequential)")
+	mr := fs.Bool("mapreduce", false, "use the in-process MapReduce engine instead of the shared-memory engine")
+	ttl := fs.Int("ttl", 0, "sliding-window TTL in ingest batches (0 = keep everything)")
+	clustering := fs.String("clustering", "closure", "final clustering: closure | center | unique")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(kbs) == 0 {
+		fs.Usage()
+		return fmt.Errorf("at least one -kb required")
+	}
+
+	cfg := minoaner.Defaults()
+	cfg.Workers = *workers
+	cfg.MapReduce = *mr
+	cfg.TTL = *ttl
+	alg, err := clusteringAlg(*clustering)
+	if err != nil {
+		return err
+	}
+	cfg.Clustering = alg
+	p := minoaner.New(cfg)
+	for _, spec := range kbs {
+		name, path, _ := strings.Cut(spec, "=")
+		if err := p.LoadKBFile(name, path); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s from %s\n", name, path)
+	}
+
+	sess, err := p.Start()
+	if err != nil {
+		return err
+	}
+	res, err := sess.Resume(*budget)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "resolved: comparisons=%d matches=%d clusters=%d pending=%d\n",
+		res.Stats.Comparisons, res.Stats.Matches, len(res.Clusters), sess.Pending())
+
+	srv := server.New(sess)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx := context.Background()
+	if quit == nil {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	} else {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		go func() {
+			<-quit
+			cancel()
+		}()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // Serve never returns nil
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
 	return nil
 }
 

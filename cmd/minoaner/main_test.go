@@ -1,10 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const testKBa = `<http://a/x> <http://a/name> "turing award" .
@@ -98,5 +103,94 @@ func TestRunWorkers(t *testing.T) {
 	}
 	if err := run([]string{"-kb", "a=" + a, "-kb", "b=" + b, "-workers", "4", "-mapreduce", "-out", out}); err != nil {
 		t.Fatalf("mapreduce run: %v", err)
+	}
+}
+
+// TestServeLifecycle drives the serve subcommand in-process: bind an
+// ephemeral port, resolve the corpus, serve reads and a mutation over
+// real HTTP, then shut down via the quit channel and require a clean
+// exit.
+func TestServeLifecycle(t *testing.T) {
+	_, a, b := writeFiles(t)
+	ready := make(chan net.Addr, 1)
+	quit := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- runServe([]string{"-kb", "a=" + a, "-kb", "b=" + b, "-addr", "127.0.0.1:0"}, ready, quit)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("serve exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Get(base + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		Epoch    uint64 `json:"epoch"`
+		Clusters int    `json:"clusters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || status.Epoch == 0 {
+		t.Fatalf("status %d, epoch %d", resp.StatusCode, status.Epoch)
+	}
+	if status.Clusters == 0 {
+		t.Error("served session resolved no clusters for the turing pair")
+	}
+
+	resp, err = http.Get(base + "/sameas?format=nt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(links), "owl#sameAs") {
+		t.Errorf("served sameAs lacks links:\n%s", links)
+	}
+
+	// One mutation through the wire, to prove the writer is live.
+	resp, err = http.Post(base+"/ingest", "application/json",
+		strings.NewReader(`[{"kb":"a","uri":"http://a/z","attrs":[{"predicate":"http://a/name","value":"turing award"}]}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest over the wire: status %d", resp.StatusCode)
+	}
+
+	close(quit)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	if err := runServe([]string{}, nil, nil); err == nil {
+		t.Error("serve without -kb accepted")
+	}
+	if err := runServe([]string{"-kb", "a=/nonexistent/path.nt"}, nil, nil); err == nil {
+		t.Error("serve with missing file accepted")
+	}
+	_, a, _ := writeFiles(t)
+	if err := runServe([]string{"-kb", "a=" + a, "-clustering", "bogus"}, nil, nil); err == nil {
+		t.Error("serve with unknown clustering accepted")
+	}
+	if err := runServe([]string{"-kb", "a=" + a, "-addr", "256.0.0.1:bad"}, nil, nil); err == nil {
+		t.Error("serve with bad address accepted")
 	}
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/blocking"
 	"repro/internal/container"
@@ -130,6 +132,22 @@ func (r *Result) MatchedPairs(m *match.Matcher) []blocking.Pair {
 	return out
 }
 
+// Timings reports the cumulative wall-clock time the resolver has
+// spent in each stage of the progressive loop, summed over every Run
+// since construction (Retract and Reseed do not reset it). The three
+// stages partition the commit path: Schedule is queue maintenance —
+// pops, lazy revalidation, reinsertion; Match is similarity evaluation
+// and the match decision (on the parallel engine this includes time the
+// committer waits for a speculative score); Update is benefit
+// accounting, cluster merging, and neighbor-evidence propagation.
+// Timings is read on the goroutine that runs the resolver — it is not
+// synchronized for concurrent readers.
+type Timings struct {
+	Schedule time.Duration `json:"scheduleNs"`
+	Match    time.Duration `json:"matchNs"`
+	Update   time.Duration `json:"updateNs"`
+}
+
 // Resolver runs the progressive schedule → match → update loop.
 type Resolver struct {
 	matcher *match.Matcher
@@ -139,6 +157,7 @@ type Resolver struct {
 	states map[uint64]*pairState
 	cl     *match.Clusters
 	maxW   float64
+	tim    Timings
 	// spec is the speculative scoring engine, non-nil when
 	// cfg.Workers > 1 (see parallel.go). The commit path below is the
 	// same either way; spec only changes where ValueSim values come
@@ -252,11 +271,31 @@ func (r *Resolver) Run() *Result { return r.RunBudget(r.cfg.Budget) }
 // RunBudget is Run with a per-call budget override (0 = unlimited),
 // for resumable sessions whose legs have different budgets.
 func (r *Resolver) RunBudget(budget int) *Result {
+	return r.RunBudgetContext(context.Background(), budget)
+}
+
+// RunBudgetContext is RunBudget with cancellation: the loop checks ctx
+// between commit waves — before each comparison is popped — and stops
+// early when the context is done, returning the trace executed so far.
+// Cancellation never corrupts the resolver: every completed comparison
+// is fully committed, so a later Run continues exactly where the
+// cancelled one stopped, and the concatenated traces still equal one
+// uninterrupted run's. The caller learns about the interruption from
+// ctx.Err(); the partial Result itself carries no error.
+func (r *Resolver) RunBudgetContext(ctx context.Context, budget int) *Result {
 	if r.spec == nil && r.cfg.Workers > 1 {
 		r.spec = newSpeculator(r, r.cfg.Workers)
 	}
+	done := ctx.Done() // nil for Background: the check below vanishes
 	res := &Result{Clusters: r.cl}
 	for budget == 0 || res.Comparisons < budget {
+		if done != nil {
+			select {
+			case <-done:
+				return res
+			default:
+			}
+		}
 		if r.spec != nil {
 			remaining := 0
 			if budget > 0 {
@@ -284,11 +323,17 @@ func (r *Resolver) RunBudget(budget int) *Result {
 	return res
 }
 
+// Timings returns the cumulative per-stage wall-clock counters. Call
+// it from the goroutine that runs the resolver, between Runs.
+func (r *Resolver) Timings() Timings { return r.tim }
+
 // next pops, validates, executes, and propagates one comparison.
 func (r *Resolver) next() (Step, bool) {
+	start := time.Now()
 	for {
 		e, ok := r.heap.Pop()
 		if !ok {
+			r.tim.Schedule += time.Since(start)
 			return Step{}, false
 		}
 		st := e.st
@@ -311,23 +356,28 @@ func (r *Resolver) next() (Step, bool) {
 			st.done = true
 			continue
 		}
+		r.tim.Schedule += time.Since(start)
 		return r.execute(p, st), true
 	}
 }
 
 func (r *Resolver) execute(p blocking.Pair, st *pairState) Step {
 	st.done = true
+	t0 := time.Now()
 	score, matched := r.matcher.DecideValue(p.A, p.B, r.valueSim(p, st), r.cl)
+	r.tim.Match += time.Since(t0)
 	step := Step{A: p.A, B: p.B, Score: score, Matched: matched,
 		Discovered: st.discovered, Recheck: st.recheck}
 	if !matched {
 		return step
 	}
+	t1 := time.Now()
 	step.Gain = r.cfg.Benefit.Gain(p.A, p.B, r.cl, r.matcher)
 	step.Merged = r.cl.Merge(p.A, p.B)
 	if step.Merged {
 		r.propagate(p.A, p.B)
 	}
+	r.tim.Update += time.Since(t1)
 	return step
 }
 

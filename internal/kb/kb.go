@@ -22,9 +22,11 @@ import (
 
 // Attribute is one predicate–value pair of a description. Only literal
 // values carry token evidence; object properties become Links instead.
+// The JSON tags are part of the public wire format (minoaner.Attribute
+// aliases this type); golden fixtures pin them.
 type Attribute struct {
-	Predicate string
-	Value     string
+	Predicate string `json:"predicate"`
+	Value     string `json:"value"`
 }
 
 // Description is one entity description: the RDF resource rooted at URI

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+// TestSoakConsistentEpochs hammers the snapshot endpoints from many
+// readers while a mutator cycles ingest → resume → evict, and asserts
+// the epoch contract: every response names an epoch, and two responses
+// for the same endpoint naming the same epoch are byte-identical — no
+// read ever observes a half-applied wave. Run under -race this is also
+// the lock-free read path's data-race proof.
+func TestSoakConsistentEpochs(t *testing.T) {
+	w := testWorld(t, 23, 60)
+	doc, err := rdf.WriteString(w.Triples("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := rdf.WriteString(w.Triples("betaKB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts, _ := startServed(t, 30, map[string]string{"alpha": doc, "betaKB": doc2})
+
+	// seen maps endpoint+epoch to the body hash first observed there;
+	// a second differing hash is a consistency violation.
+	var mu sync.Mutex
+	seen := map[string][32]byte{}
+	var reads int
+	observe := func(endpoint string, epoch string, body []byte) {
+		key := endpoint + "@" + epoch
+		sum := sha256.Sum256(body)
+		mu.Lock()
+		defer mu.Unlock()
+		reads++
+		if prev, ok := seen[key]; ok {
+			if prev != sum {
+				t.Errorf("two different bodies for %s", key)
+			}
+			return
+		}
+		seen[key] = sum
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	endpoints := []string{"/clusters", "/status", "/sameas?format=nt", "/sameas"}
+	const readers = 8
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ep := endpoints[(i+n)%len(endpoints)]
+				resp, body := get(t, ts, ep, "")
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("reader %d: %s status %d", i, ep, resp.StatusCode)
+					return
+				}
+				epoch := resp.Header.Get(epochHeader)
+				if epoch == "" {
+					t.Errorf("reader %d: %s missing epoch header", i, ep)
+					return
+				}
+				observe(ep, epoch, body)
+			}
+		}(i)
+	}
+
+	// The mutator cycles: ingest a fresh description, spend budget,
+	// every third round evict what the round before ingested.
+	const rounds = 25
+	for n := 0; n < rounds; n++ {
+		uri := fmt.Sprintf("http://soak/%d", n)
+		body := fmt.Sprintf(`[{"kb":"alpha","uri":"%s","attrs":[{"predicate":"p","value":"soak round %d"}]}]`, uri, n)
+		resp, data := post(t, ts, "/ingest", "application/json", []byte(body))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("soak ingest %d: status %d\n%s", n, resp.StatusCode, data)
+		}
+		resp, data = post(t, ts, "/resume?budget=15", "", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("soak resume %d: status %d\n%s", n, resp.StatusCode, data)
+		}
+		if n%3 == 2 {
+			prev := fmt.Sprintf("http://soak/%d", n-1)
+			evict := fmt.Sprintf(`{"refs":[{"kb":"alpha","uri":"%s"}]}`, prev)
+			resp, data = post(t, ts, "/evict", "application/json", []byte(evict))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("soak evict %d: status %d\n%s", n, resp.StatusCode, data)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if reads < readers {
+		t.Fatalf("only %d reads landed during the soak", reads)
+	}
+	if got := srv.Epoch(); got < 2 {
+		t.Fatalf("epoch never advanced past %d", got)
+	}
+	t.Logf("%d reads over %d distinct endpoint@epoch states, final epoch %d",
+		reads, len(seen), srv.Epoch())
+}
+
+// TestReadsDuringWedgedWriter pins the lock-free claim directly: with
+// the writer goroutine deliberately blocked mid-mutation, every read
+// endpoint still answers promptly from the published snapshot, and the
+// epoch holds still for the duration.
+func TestReadsDuringWedgedWriter(t *testing.T) {
+	w := testWorld(t, 29, 40)
+	doc, err := rdf.WriteString(w.Triples("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts, _ := startServed(t, 10, map[string]string{"alpha": doc})
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	wedged := make(chan error, 1)
+	go func() {
+		_, err := srv.do(context.Background(), func(context.Context) error {
+			close(started)
+			<-gate
+			return nil
+		})
+		wedged <- err
+	}()
+	<-started // the writer is now inside apply, holding the Session
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	epoch := srv.Epoch()
+	for i := 0; i < 50; i++ {
+		for _, ep := range []string{"/status", "/clusters", "/sameas?format=nt"} {
+			resp, err := client.Get(ts.URL + ep)
+			if err != nil {
+				t.Fatalf("read %s while writer wedged: %v", ep, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("read %s while writer wedged: status %d", ep, resp.StatusCode)
+			}
+			if got := resp.Header.Get(epochHeader); got != strconv.FormatUint(epoch, 10) {
+				t.Fatalf("epoch moved to %s while the writer was wedged at %d", got, epoch)
+			}
+		}
+	}
+
+	close(gate)
+	if err := <-wedged; err != nil {
+		t.Fatalf("wedged op failed: %v", err)
+	}
+	if got := srv.Epoch(); got != epoch+1 {
+		t.Fatalf("epoch %d after the wedged wave committed, want %d", got, epoch+1)
+	}
+}

@@ -20,12 +20,14 @@
 package minoaner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -34,6 +36,7 @@ import (
 	"repro/internal/metablocking"
 	"repro/internal/parmeta"
 	"repro/internal/pipeline"
+	"repro/internal/rdf"
 	"repro/internal/tokenize"
 )
 
@@ -45,6 +48,18 @@ var ErrUnknownDescription = errors.New("unknown description")
 // ErrUnknownKB reports an EvictKB of a name no loaded description ever
 // carried. Test with errors.Is.
 var ErrUnknownKB = errors.New("unknown knowledge base")
+
+// ErrSessionClosed reports a streaming call — Ingest, Evict, or a
+// post-Start load — on a session that is no longer its pipeline's
+// current one: a newer Start superseded it. The session still resolves
+// its frozen view; only mutation is refused. Test with errors.Is.
+var ErrSessionClosed = errors.New("session closed")
+
+// ErrBadBatch reports input that fails validation before anything is
+// mutated: a description or reference with an empty KB name or URI, or
+// an empty KB name handed to a load. Test with errors.Is; the wrapping
+// error describes the offending item.
+var ErrBadBatch = errors.New("bad batch")
 
 // Scheme selects the meta-blocking edge-weighting scheme.
 type Scheme = metablocking.Scheme
@@ -174,22 +189,28 @@ func Defaults() Config {
 }
 
 // Ref names one entity description: its source KB and its URI.
+//
+// The JSON field names of Ref — like those of Match, Cluster, Stats,
+// Result, and Description — are part of the wire format served by
+// internal/server and are pinned by golden fixtures; changing a tag is
+// a breaking protocol change.
 type Ref struct {
-	KB  string
-	URI string
+	KB  string `json:"kb"`
+	URI string `json:"uri"`
 }
 
 // Match is one confirmed pair, in confirmation order.
 type Match struct {
-	A, B Ref
+	A Ref `json:"a"`
+	B Ref `json:"b"`
 	// Score is the combined similarity at confirmation time.
-	Score float64
+	Score float64 `json:"score"`
 	// Discovered is true when blocking never proposed this pair — it
 	// was found through neighbor evidence in the update phase.
-	Discovered bool
+	Discovered bool `json:"discovered,omitempty"`
 	// Rechecked is true when the pair failed an earlier comparison and
 	// was re-examined after its neighbors resolved.
-	Rechecked bool
+	Rechecked bool `json:"rechecked,omitempty"`
 }
 
 // Cluster is one resolved real-world entity: all its descriptions.
@@ -197,33 +218,40 @@ type Cluster []Ref
 
 // Stats reports per-stage pipeline measurements.
 type Stats struct {
-	Descriptions    int
-	KBs             int
-	BruteForce      int // comparisons without blocking
-	Blocks          int // after cleaning
-	BlockCandidates int // distinct pairs after cleaning
-	PrunedEdges     int // comparisons retained by meta-blocking
-	Comparisons     int // comparisons actually executed
-	DiscoveredCmps  int // executed comparisons found by the update phase
-	Matches         int
+	Descriptions    int `json:"descriptions"`
+	KBs             int `json:"kbs"`
+	BruteForce      int `json:"bruteForce"`      // comparisons without blocking
+	Blocks          int `json:"blocks"`          // after cleaning
+	BlockCandidates int `json:"blockCandidates"` // distinct pairs after cleaning
+	PrunedEdges     int `json:"prunedEdges"`     // comparisons retained by meta-blocking
+	Comparisons     int `json:"comparisons"`     // comparisons actually executed
+	DiscoveredCmps  int `json:"discoveredCmps"`  // executed comparisons found by the update phase
+	Matches         int `json:"matches"`
 }
 
 // Result of a pipeline run.
 type Result struct {
-	Matches  []Match
-	Clusters []Cluster
-	Stats    Stats
+	Matches  []Match   `json:"matches"`
+	Clusters []Cluster `json:"clusters"`
+	Stats    Stats     `json:"stats"`
 }
 
-// SameAs serializes the confirmed matches as owl:sameAs N-Triples.
-func (r *Result) SameAs() string {
+// SameAs serializes the confirmed matches as owl:sameAs N-Triples. The
+// output round-trips through the internal/rdf parser: internal/server's
+// sameAs endpoint serves the same serialization.
+func (r *Result) SameAs() string { return sameAsDoc(r.Matches) }
+
+// sameAsDoc is the one owl:sameAs serializer — Result.SameAs and
+// Snapshot.SameAs (the server's N-Triples dump) both go through it, so
+// the two surfaces can never drift. It renders each match through the
+// internal/rdf term serializer (IRI bracketing and escaping rules live
+// there, next to the parser they must round-trip with).
+func sameAsDoc(matches []Match) string {
 	var sb strings.Builder
-	for _, m := range r.Matches {
-		sb.WriteString("<")
-		sb.WriteString(m.A.URI)
-		sb.WriteString("> <http://www.w3.org/2002/07/owl#sameAs> <")
-		sb.WriteString(m.B.URI)
-		sb.WriteString("> .\n")
+	for _, m := range matches {
+		t := rdf.NewTriple(rdf.NewIRI(m.A.URI), rdf.NewIRI(rdf.OWLSameAs), rdf.NewIRI(m.B.URI))
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }
@@ -267,7 +295,7 @@ func New(cfg Config) *Pipeline {
 // Start supersedes that session, loading refuses instead.
 func (p *Pipeline) LoadKB(name string, r io.Reader) error {
 	if name == "" {
-		return fmt.Errorf("minoaner: KB name must not be empty")
+		return fmt.Errorf("minoaner: KB name must not be empty: %w", ErrBadBatch)
 	}
 	if s := p.current; s != nil {
 		return s.IngestKB(name, r)
@@ -279,7 +307,7 @@ func (p *Pipeline) LoadKB(name string, r io.Reader) error {
 // Start it streams into the current session, like LoadKB.
 func (p *Pipeline) LoadKBTurtle(name string, r io.Reader) error {
 	if name == "" {
-		return fmt.Errorf("minoaner: KB name must not be empty")
+		return fmt.Errorf("minoaner: KB name must not be empty: %w", ErrBadBatch)
 	}
 	if s := p.current; s != nil {
 		return s.ingestBatch(func() error { return p.col.LoadTurtle(name, r) })
@@ -294,7 +322,7 @@ func (p *Pipeline) LoadKBTurtle(name string, r io.Reader) error {
 // current session, like LoadKB.
 func (p *Pipeline) LoadQuads(defaultKB string, r io.Reader) error {
 	if defaultKB == "" {
-		return fmt.Errorf("minoaner: default KB name must not be empty")
+		return fmt.Errorf("minoaner: default KB name must not be empty: %w", ErrBadBatch)
 	}
 	if s := p.current; s != nil {
 		return s.ingestBatch(func() error { return p.col.LoadQuads(defaultKB, r) })
@@ -322,7 +350,7 @@ func (p *Pipeline) LoadKBFile(name, path string) error {
 // streams into the current session, like Add.
 func (p *Pipeline) AddDescription(kbName, uri string, attrs map[string]string, links []string) error {
 	if kbName == "" || uri == "" {
-		return fmt.Errorf("minoaner: KB name and URI must not be empty")
+		return fmt.Errorf("minoaner: KB name and URI must not be empty: %w", ErrBadBatch)
 	}
 	d := &kb.Description{URI: uri, KB: kbName, Links: links}
 	keys := make([]string, 0, len(attrs))
@@ -360,7 +388,7 @@ func (p *Pipeline) Add(batch []Description) error {
 func validateBatch(batch []Description) error {
 	for _, d := range batch {
 		if d.KB == "" || d.URI == "" {
-			return fmt.Errorf("minoaner: KB name and URI must not be empty")
+			return fmt.Errorf("minoaner: KB name and URI must not be empty: %w", ErrBadBatch)
 		}
 	}
 	return nil
@@ -387,11 +415,21 @@ func (p *Pipeline) Resolve() (*Result, error) { return p.ResolveBudget(0) }
 // scheduler spends the budget on the most beneficial comparisons
 // first.
 func (p *Pipeline) ResolveBudget(budget int) (*Result, error) {
+	return p.ResolveContext(context.Background(), budget)
+}
+
+// ResolveContext is ResolveBudget with cancellation: Start runs to
+// completion (the front end is not interruptible), then the matching
+// loop honors ctx between comparisons via Session.ResumeContext. On
+// cancellation it returns the partial cumulative result together with
+// ctx.Err(); the session it started remains the pipeline's current one,
+// so a later Start or streaming call continues normally.
+func (p *Pipeline) ResolveContext(ctx context.Context, budget int) (*Result, error) {
 	s, err := p.Start()
 	if err != nil {
 		return nil, err
 	}
-	return s.Resume(budget)
+	return s.ResumeContext(ctx, budget)
 }
 
 // Session is a resumable pay-as-you-go resolution: blocking and
@@ -428,6 +466,40 @@ type Session struct {
 	expired int
 	// curGen counts ingest batches, TTL or not.
 	curGen int
+	// tim accumulates the session-level wall-clock counters (front end,
+	// streaming maintenance, resolve legs); the matching-stage split
+	// lives in the resolver and is merged in by Timings().
+	tim Timings
+}
+
+// Timings reports cumulative wall-clock time per pipeline stage of one
+// session, in nanoseconds on the wire (the JSON field names end in Ns).
+// FrontEnd is Start's preparation pass (blocking→pruning plus matcher
+// and queue construction); Ingest and Evict cover
+// streaming maintenance (index splice, graph update, re-prune, matcher
+// rebuild, reseed/retract); Resolve is the matching loop end to end,
+// and Schedule/Match/Update split its commit path (see
+// internal/core.Timings — on the parallel engine, Match includes time
+// the committer waits for speculative scores).
+type Timings struct {
+	FrontEnd time.Duration `json:"frontendNs"`
+	Ingest   time.Duration `json:"ingestNs"`
+	Evict    time.Duration `json:"evictNs"`
+	Resolve  time.Duration `json:"resolveNs"`
+	Schedule time.Duration `json:"scheduleNs"`
+	Match    time.Duration `json:"matchNs"`
+	Update   time.Duration `json:"updateNs"`
+}
+
+// Timings returns the session's cumulative per-stage timing counters.
+// Like every Session method, it must not race with a concurrent
+// mutation — the server reads it from its single writer goroutine and
+// snapshots the value.
+func (s *Session) Timings() Timings {
+	t := s.tim
+	ct := s.resolver.Timings()
+	t.Schedule, t.Match, t.Update = ct.Schedule, ct.Match, ct.Update
+	return t
 }
 
 // Start freezes the loaded KBs and prepares the comparison queue.
@@ -446,6 +518,7 @@ func (p *Pipeline) Start() (*Session, error) {
 		return nil, fmt.Errorf("minoaner: no descriptions loaded")
 	}
 	eng := pipeline.Select(p.cfg.Workers, p.cfg.MapReduce)
+	tStart := time.Now()
 	fstate, err := pipeline.Start(eng, p.col, pipeline.Options{
 		Tokenize:          p.cfg.Tokenize,
 		PurgeMaxBlockSize: p.cfg.PurgeMaxBlockSize,
@@ -472,6 +545,7 @@ func (p *Pipeline) Start() (*Session, error) {
 		resolver: resolver,
 		matcher:  matcher,
 	}
+	s.tim.FrontEnd = time.Since(tStart)
 	if p.cfg.TTL > 0 {
 		s.gens = make([]int, p.col.Len()) // everything loaded so far is batch 0
 	}
@@ -501,10 +575,35 @@ func (s *Session) refreshStats() {
 // Resume executes up to budget further comparisons (0 = run to
 // completion) and returns the cumulative result of the session.
 func (s *Session) Resume(budget int) (*Result, error) {
-	res := s.resolver.RunBudget(budget)
-	s.trace = append(s.trace, res.Trace...)
-	p := s.p
+	return s.ResumeContext(context.Background(), budget)
+}
 
+// ResumeContext is Resume with cancellation: the matching loop checks
+// ctx between comparisons and stops early when it is done. Every
+// comparison executed before the cancellation is fully committed and
+// stays folded into the session — a later Resume continues exactly
+// where the cancelled one stopped, with the usual leg-concatenation
+// guarantee. On cancellation the cumulative result so far is returned
+// together with ctx.Err(), so a caller (the server's writer goroutine)
+// can give up on a wedged request without losing or corrupting work.
+func (s *Session) ResumeContext(ctx context.Context, budget int) (*Result, error) {
+	t0 := time.Now()
+	res := s.resolver.RunBudgetContext(ctx, budget)
+	s.tim.Resolve += time.Since(t0)
+	s.trace = append(s.trace, res.Trace...)
+	out, _ := s.buildResult()
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// buildResult assembles the cumulative Result from the session's trace
+// without spending any budget. It also returns the member ids of each
+// cluster, aligned with Result.Clusters — Snapshot builds its lookup
+// index from them.
+func (s *Session) buildResult() (*Result, [][]int) {
+	p := s.p
 	out := &Result{Stats: s.base}
 	for _, step := range s.trace {
 		out.Stats.Comparisons++
@@ -524,18 +623,112 @@ func (s *Session) Resume(budget int) (*Result, error) {
 		})
 	}
 	final := cluster.Cluster(p.cfg.Clustering, cluster.FromSteps(s.trace), p.col, p.col.Len())
-	for _, members := range final.Resolved() {
-		cl := make(Cluster, len(members))
-		for i, id := range members {
+	members := final.Resolved()
+	for _, ids := range members {
+		cl := make(Cluster, len(ids))
+		for i, id := range ids {
 			cl[i] = p.ref(id)
 		}
 		out.Clusters = append(out.Clusters, cl)
 	}
-	return out, nil
+	return out, members
 }
 
 // Pending returns an upper bound on the comparisons still queued.
 func (s *Session) Pending() int { return s.resolver.Pending() }
+
+// Snapshot is an immutable point-in-time view of a Session's
+// resolution state: the cumulative Result, a cluster index for URI
+// lookups, the pending count, and the timing counters — everything a
+// read path needs, detached from the live session. Building one costs
+// a pass over the trace and the live descriptions; reading one costs
+// no locks, no session access, and never observes a later mutation.
+// internal/server swaps a Snapshot behind an atomic pointer after each
+// commit wave, so any number of concurrent readers share it safely.
+type Snapshot struct {
+	res     *Result
+	pending int
+	tim     Timings
+	// index maps every live description to the index of its cluster in
+	// res.Clusters, or -1 when it resolved alone (singleton clusters are
+	// not enumerated in Result.Clusters).
+	index map[Ref]int
+	// byURI lists the live refs carrying each URI, KB-sorted — the
+	// kb-less form of the resolve lookup. A URI can appear in several
+	// KBs (clean–clean corpora disagree exactly there).
+	byURI map[string][]Ref
+}
+
+// Snapshot captures the session's current state. Like every Session
+// method it must not race with a concurrent mutation; the returned
+// value, once built, is safe to share among any number of goroutines.
+func (s *Session) Snapshot() *Snapshot {
+	res, members := s.buildResult()
+	sn := &Snapshot{
+		res:     res,
+		pending: s.resolver.Pending(),
+		tim:     s.Timings(),
+		index:   make(map[Ref]int, s.p.col.NumAlive()),
+		byURI:   make(map[string][]Ref),
+	}
+	for ci, ids := range members {
+		for _, id := range ids {
+			sn.index[s.p.ref(id)] = ci
+		}
+	}
+	for id := 0; id < s.p.col.Len(); id++ {
+		if !s.p.col.Alive(id) {
+			continue
+		}
+		r := s.p.ref(id)
+		if _, ok := sn.index[r]; !ok {
+			sn.index[r] = -1
+		}
+		sn.byURI[r.URI] = append(sn.byURI[r.URI], r)
+	}
+	for _, refs := range sn.byURI {
+		sort.Slice(refs, func(i, j int) bool { return refs[i].KB < refs[j].KB })
+	}
+	return sn
+}
+
+// Result returns the snapshot's cumulative result. Callers must treat
+// it — matches, clusters, stats — as read-only: the value is shared by
+// every reader of the snapshot.
+func (sn *Snapshot) Result() *Result { return sn.res }
+
+// Stats returns the snapshot's pipeline statistics.
+func (sn *Snapshot) Stats() Stats { return sn.res.Stats }
+
+// Pending returns the upper bound on queued comparisons at capture
+// time.
+func (sn *Snapshot) Pending() int { return sn.pending }
+
+// Timings returns the per-stage timing counters at capture time.
+func (sn *Snapshot) Timings() Timings { return sn.tim }
+
+// SameAs serializes the snapshot's confirmed matches as owl:sameAs
+// N-Triples — the same serializer Result.SameAs uses.
+func (sn *Snapshot) SameAs() string { return sameAsDoc(sn.res.Matches) }
+
+// Cluster returns the cluster holding the (kb, uri) description. A
+// live description that matched nothing resolves to a singleton
+// cluster of itself; an unknown or evicted reference reports false.
+func (sn *Snapshot) Cluster(kbName, uri string) (Cluster, bool) {
+	ci, ok := sn.index[Ref{KB: kbName, URI: uri}]
+	if !ok {
+		return nil, false
+	}
+	if ci < 0 {
+		return Cluster{{KB: kbName, URI: uri}}, true
+	}
+	return sn.res.Clusters[ci], true
+}
+
+// Refs returns every live description carrying the URI, sorted by KB
+// name — the lookup behind a kb-less resolve query. The returned slice
+// is shared; callers must not mutate it.
+func (sn *Snapshot) Refs(uri string) []Ref { return sn.byURI[uri] }
 
 // Attribute is one predicate–value pair of a streamed Description.
 type Attribute = kb.Attribute
@@ -546,15 +739,15 @@ type Attribute = kb.Attribute
 // exists extends the existing description.
 type Description struct {
 	// KB names the source knowledge base (new names open new KBs).
-	KB string
+	KB string `json:"kb"`
 	// URI identifies the description within its KB.
-	URI string
+	URI string `json:"uri"`
 	// Types lists rdf:type objects.
-	Types []string
+	Types []string `json:"types,omitempty"`
 	// Attrs lists the literal-valued predicates.
-	Attrs []Attribute
+	Attrs []Attribute `json:"attrs,omitempty"`
 	// Links lists URIs of linked descriptions.
-	Links []string
+	Links []string `json:"links,omitempty"`
 }
 
 // Ingest streams a batch of new descriptions into the live session.
@@ -597,7 +790,7 @@ func (s *Session) Ingest(batch []Description) error {
 // superseded sessions keep resolving their frozen view.
 func (s *Session) ingestable() error {
 	if s.p.current != s {
-		return fmt.Errorf("minoaner: streaming requires the pipeline's current session (a newer Start superseded this one)")
+		return fmt.Errorf("minoaner: streaming requires the pipeline's current session (a newer Start superseded this one): %w", ErrSessionClosed)
 	}
 	return nil
 }
@@ -607,7 +800,7 @@ func (s *Session) ingestable() error {
 // about subjects the session already knows extend their descriptions.
 func (s *Session) IngestKB(name string, r io.Reader) error {
 	if name == "" {
-		return fmt.Errorf("minoaner: KB name must not be empty")
+		return fmt.Errorf("minoaner: KB name must not be empty: %w", ErrBadBatch)
 	}
 	return s.ingestBatch(func() error { return s.p.col.Load(name, r) })
 }
@@ -682,7 +875,7 @@ func (s *Session) EvictKB(name string) error {
 		return err
 	}
 	if name == "" {
-		return fmt.Errorf("minoaner: KB name must not be empty")
+		return fmt.Errorf("minoaner: KB name must not be empty: %w", ErrBadBatch)
 	}
 	if err := s.syncFront(); err != nil {
 		return err
@@ -735,6 +928,7 @@ func (s *Session) syncFront() error {
 	if err := s.ingestable(); err != nil {
 		return err // defense in depth; the public entry points check first
 	}
+	t0 := time.Now()
 	ingested := false
 	if s.fstate.PendingIngest() {
 		if err := s.eng.Ingest(s.fstate); err != nil {
@@ -757,8 +951,10 @@ func (s *Session) syncFront() error {
 	if evicted {
 		s.trace = filterAliveSteps(s.trace, s.p.col)
 		s.resolver.Retract(s.matcher, s.fstate.Front.Edges, s.trace)
+		s.tim.Evict += time.Since(t0)
 	} else {
 		s.resolver.Reseed(s.matcher, s.fstate.Front.Edges)
+		s.tim.Ingest += time.Since(t0)
 	}
 	s.refreshStats()
 	return nil
