@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -160,6 +161,7 @@ func runServe(args []string, ready chan<- net.Addr, quit <-chan struct{}) error 
 	mr := fs.Bool("mapreduce", false, "use the in-process MapReduce engine instead of the shared-memory engine")
 	ttl := fs.Int("ttl", 0, "sliding-window TTL in ingest batches (0 = keep everything)")
 	clustering := fs.String("clustering", "closure", "final clustering: closure | center | unique")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -199,6 +201,27 @@ func runServe(args []string, ready chan<- net.Addr, quit <-chan struct{}) error 
 
 	srv := server.New(sess)
 	defer srv.Close()
+
+	// The profiling endpoint binds its own listener, kept off the API
+	// address so an operator can expose /status publicly while leaving
+	// heap and goroutine dumps on localhost. Registered on a private mux
+	// — never the default one — so nothing leaks onto the API handler.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go http.Serve(pln, pmux)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -112,11 +112,22 @@ func TestRunWorkers(t *testing.T) {
 // exit.
 func TestServeLifecycle(t *testing.T) {
 	_, a, b := writeFiles(t)
+	// Reserve an ephemeral port for the pprof listener: bind, read the
+	// address, release it for runServe to re-bind. The window between
+	// close and re-bind is racy in principle; in practice the kernel
+	// does not hand the port out again this fast.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofAddr := probe.Addr().String()
+	probe.Close()
 	ready := make(chan net.Addr, 1)
 	quit := make(chan struct{})
 	errc := make(chan error, 1)
 	go func() {
-		errc <- runServe([]string{"-kb", "a=" + a, "-kb", "b=" + b, "-addr", "127.0.0.1:0"}, ready, quit)
+		errc <- runServe([]string{"-kb", "a=" + a, "-kb", "b=" + b,
+			"-addr", "127.0.0.1:0", "-pprof", pprofAddr}, ready, quit)
 	}()
 	var addr net.Addr
 	select {
@@ -135,6 +146,10 @@ func TestServeLifecycle(t *testing.T) {
 	var status struct {
 		Epoch    uint64 `json:"epoch"`
 		Clusters int    `json:"clusters"`
+		Gauges   struct {
+			GraphEdges int `json:"graphEdges"`
+			GraphBytes int `json:"graphBytes"`
+		} `json:"gauges"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
 		t.Fatal(err)
@@ -145,6 +160,25 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	if status.Clusters == 0 {
 		t.Error("served session resolved no clusters for the turing pair")
+	}
+	if status.Gauges.GraphEdges == 0 || status.Gauges.GraphBytes == 0 {
+		t.Errorf("status reports empty memory gauges: %+v", status.Gauges)
+	}
+
+	// The profiling endpoint lives on its own listener, off the API mux.
+	resp, err = http.Get("http://" + pprofAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof endpoint: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index: status %d", resp.StatusCode)
+	}
+	if resp, err = http.Get(base + "/debug/pprof/"); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			t.Error("pprof leaked onto the API listener")
+		}
+		resp.Body.Close()
 	}
 
 	resp, err = http.Get(base + "/sameas?format=nt")

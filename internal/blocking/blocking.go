@@ -32,12 +32,25 @@ func (b *Block) Comparisons(c *kb.Collection, cleanClean bool) int {
 	if !cleanClean || c == nil {
 		return n * (n - 1) / 2
 	}
-	// Count pairs spanning different KBs: total pairs minus same-KB pairs.
+	// Count pairs spanning different KBs: total pairs minus same-KB
+	// pairs. KB counts fit a stack array in the common case — this runs
+	// once per block per pipeline pass, and a heap map here dominated
+	// the cleaning stages' allocation profile.
+	total := n * (n - 1) / 2
+	if nk := c.NumKBs(); nk <= 16 {
+		var perKB [16]int
+		for _, id := range b.Entities {
+			perKB[c.KBOf(id)]++
+		}
+		for _, k := range perKB[:nk] {
+			total -= k * (k - 1) / 2
+		}
+		return total
+	}
 	perKB := make(map[int]int)
 	for _, id := range b.Entities {
 		perKB[c.KBOf(id)]++
 	}
-	total := n * (n - 1) / 2
 	for _, k := range perKB {
 		total -= k * (k - 1) / 2
 	}

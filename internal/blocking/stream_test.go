@@ -1,0 +1,130 @@
+package blocking
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/kb"
+	"repro/internal/tokenize"
+)
+
+// streamWorld builds a generated two-KB collection large enough that
+// purge caps and filter ranks make nontrivial decisions.
+func streamWorld(t *testing.T, seed int64, n int) *kb.Collection {
+	t.Helper()
+	w, err := datagen.Generate(datagen.TwoKBs(seed, n, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Collection
+}
+
+// sameBlocks requires two block collections to agree exactly: headers,
+// key order, and every member list.
+func sameBlocks(t *testing.T, label string, got, want *Collection) {
+	t.Helper()
+	if got.CleanClean != want.CleanClean {
+		t.Fatalf("%s: CleanClean %v, want %v", label, got.CleanClean, want.CleanClean)
+	}
+	if len(got.Blocks) != len(want.Blocks) {
+		t.Fatalf("%s: %d blocks, want %d", label, len(got.Blocks), len(want.Blocks))
+	}
+	for i := range want.Blocks {
+		g, w := &got.Blocks[i], &want.Blocks[i]
+		if g.Key != w.Key {
+			t.Fatalf("%s: block %d key %q, want %q", label, i, g.Key, w.Key)
+		}
+		if len(g.Entities) != len(w.Entities) {
+			t.Fatalf("%s: block %q has %d members, want %d", label, g.Key, len(g.Entities), len(w.Entities))
+		}
+		for j := range w.Entities {
+			if g.Entities[j] != w.Entities[j] {
+				t.Fatalf("%s: block %q member %d = %d, want %d", label, g.Key, j, g.Entities[j], w.Entities[j])
+			}
+		}
+	}
+}
+
+// TestStreamMatchesMaterialized is the stage-by-stage differential
+// between the iterator-composed front-end and the materialized
+// reference: the stream source must equal TokenBlocking, and each
+// stream transform (Purge with fixed and automatic caps, Filter) must
+// equal the corresponding Collection method, composed in the same
+// orders the engines compose them.
+func TestStreamMatchesMaterialized(t *testing.T) {
+	src := streamWorld(t, 11, 150)
+	opts := tokenize.Default()
+	ref := TokenBlocking(src, opts)
+
+	sameBlocks(t, "source", TokenBlockingStream(src, opts).Collect(), ref)
+	sameBlocks(t, "adapter", ref.Stream().Collect(), ref)
+
+	for _, sizeCap := range []int{0, 8, 40} {
+		got := TokenBlockingStream(src, opts).Purge(sizeCap).Collect()
+		sameBlocks(t, "purge", got, ref.Purge(sizeCap))
+	}
+	for _, ratio := range []float64{0.5, 0.8, 1} {
+		got := TokenBlockingStream(src, opts).Filter(ratio).Collect()
+		sameBlocks(t, "filter", got, ref.Filter(ratio))
+	}
+
+	// The full chain, as pipeline.Run composes it.
+	got := TokenBlockingStream(src, opts).Purge(0).Filter(0.8).Collect()
+	sameBlocks(t, "chain", got, ref.Purge(0).Filter(0.8))
+}
+
+// TestStreamReplay checks the contract two-pass transforms rely on:
+// ranging a composed stream again yields the identical sequence, and
+// the memoized analyses (purge histogram, filter verdicts) hold across
+// replays.
+func TestStreamReplay(t *testing.T) {
+	src := streamWorld(t, 12, 100)
+	s := TokenBlockingStream(src, tokenize.Default()).Purge(0).Filter(0.8)
+	first := s.Collect()
+	second := s.Collect()
+	sameBlocks(t, "replay", second, first)
+}
+
+// TestStreamEarlyStop checks that a consumer can stop mid-iteration:
+// yield returning false must halt the walk without panicking anywhere
+// in the transform chain, and a subsequent full replay still sees
+// every block.
+func TestStreamEarlyStop(t *testing.T) {
+	src := streamWorld(t, 13, 80)
+	s := TokenBlockingStream(src, tokenize.Default()).Purge(0).Filter(0.8)
+	want := s.Collect()
+	if len(want.Blocks) < 2 {
+		t.Fatal("world too small to test early stop")
+	}
+	seen := 0
+	s.Blocks(func(b *Block) bool {
+		seen++
+		return seen < 2
+	})
+	if seen != 2 {
+		t.Fatalf("early stop saw %d blocks, want 2", seen)
+	}
+	sameBlocks(t, "after early stop", s.Collect(), want)
+}
+
+// TestMergeRunsStream splits a sorted block sequence into interleaved
+// runs and requires the lazy k-way merge to reproduce the original
+// order, including empty runs.
+func TestMergeRunsStream(t *testing.T) {
+	src := streamWorld(t, 14, 60)
+	ref := TokenBlocking(src, tokenize.Default())
+	runs := make([][]Block, 4)
+	for i, b := range ref.Blocks {
+		runs[i%3] = append(runs[i%3], b) // runs[3] stays empty
+	}
+	for i := range runs {
+		// Each run must be internally sorted for the merge contract.
+		for j := 1; j < len(runs[i]); j++ {
+			if runs[i][j-1].Key >= runs[i][j].Key {
+				t.Fatal("test runs not sorted")
+			}
+		}
+	}
+	got := MergeRunsStream(src, ref.CleanClean, runs).Collect()
+	sameBlocks(t, "merge", got, ref)
+}

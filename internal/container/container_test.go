@@ -128,6 +128,90 @@ func TestUnionFindMatchesReference(t *testing.T) {
 	}
 }
 
+// TestUnionFindVersion pins the revalidation contract: only merging
+// Unions bump the version — repeated unions and Find's path
+// compression never do, because neither changes membership.
+func TestUnionFindVersion(t *testing.T) {
+	u := NewUnionFind(6)
+	if u.Version() != 0 {
+		t.Fatalf("fresh forest at version %d", u.Version())
+	}
+	u.Union(0, 1)
+	u.Union(2, 3)
+	if u.Version() != 2 {
+		t.Fatalf("Version=%d after two merges, want 2", u.Version())
+	}
+	u.Union(1, 0) // no merge
+	u.Find(3)     // compression only
+	if u.Version() != 2 {
+		t.Fatalf("Version=%d after a no-op union and a Find, want 2", u.Version())
+	}
+	u.Union(0, 3)
+	if u.Version() != 3 {
+		t.Fatalf("Version=%d, want 3", u.Version())
+	}
+}
+
+// TestUnionFindSameReadConcurrent drives SameRead readers against a
+// single writer running Find (path compression) and Union — the
+// parallel matching engine's access pattern. The race detector proves
+// the atomic discipline; the assertions prove reads bracketed by an
+// unchanged version are exact, and that racing only path compression
+// never changes an answer.
+func TestUnionFindSameReadConcurrent(t *testing.T) {
+	const n = 512
+	u := NewUnionFind(n)
+	rng := rand.New(rand.NewSource(42))
+
+	stop := make(chan struct{})
+	errs := make(chan string, 4)
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				x, y := r.Intn(n), r.Intn(n)
+				v0 := u.Version()
+				got := u.SameRead(x, y)
+				// Bracketed exactness: if no merge landed around the read,
+				// it must agree with a second read — the writer below only
+				// compresses paths between merges.
+				if u.Version() == v0 && u.SameRead(x, y) != got {
+					select {
+					case errs <- "SameRead unstable at a fixed version":
+					default:
+					}
+					return
+				}
+			}
+		}(int64(w))
+	}
+	for i := 0; i < 4*n; i++ {
+		if i%3 == 0 {
+			u.Union(rng.Intn(n), rng.Intn(n))
+		} else {
+			u.Find(rng.Intn(n)) // compression traffic between merges
+		}
+	}
+	close(stop)
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	// Quiesced, the read path must agree with Find everywhere.
+	for i := 0; i < n; i++ {
+		x, y := rng.Intn(n), rng.Intn(n)
+		if u.SameRead(x, y) != u.Same(x, y) {
+			t.Fatalf("SameRead(%d,%d) disagrees with Same after quiescence", x, y)
+		}
+	}
+}
+
 func TestHeapOrdering(t *testing.T) {
 	h := NewHeap(func(a, b int) bool { return a < b })
 	if _, ok := h.Pop(); ok {
@@ -397,6 +481,73 @@ func TestHeapItems(t *testing.T) {
 	for i, v := range hd.Items() {
 		if v != desc[i] {
 			t.Fatalf("descending input reordered by heapify: %v", hd.Items())
+		}
+	}
+}
+
+// TestPairTable drives the open-addressed pair index differentially
+// against a Go map across several doubling boundaries: every Put must
+// be visible to Get, absent keys must miss, and Len must track the
+// live count. Keys come from a fixed-seed generator so runs are
+// reproducible; clustered key patterns (consecutive packed pairs)
+// exercise the linear-probe chains.
+func TestPairTable(t *testing.T) {
+	var pt PairTable
+	if _, ok := pt.Get(42); ok {
+		t.Fatal("zero-value table claims to hold a key")
+	}
+	if pt.Len() != 0 {
+		t.Fatalf("zero-value Len = %d", pt.Len())
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	ref := make(map[uint64]int32)
+	// A mix of random keys and dense runs of consecutive keys — the
+	// latter is what canonical pair packing produces for one hub node's
+	// edges, the worst case for probe clustering.
+	keys := make([]uint64, 0, 5000)
+	for len(keys) < 4000 {
+		k := rng.Uint64()
+		if k == 0 {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	base := uint64(1) << 32
+	for i := uint64(0); i < 1000; i++ {
+		keys = append(keys, base+i)
+	}
+	for i, k := range keys {
+		if _, dup := ref[k]; dup {
+			continue
+		}
+		if _, ok := pt.Get(k); ok {
+			t.Fatalf("key %#x present before Put", k)
+		}
+		pt.Put(k, int32(i))
+		ref[k] = int32(i)
+		if v, ok := pt.Get(k); !ok || v != int32(i) {
+			t.Fatalf("Get(%#x) after Put = %d, %v; want %d", k, v, ok, i)
+		}
+	}
+	if pt.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", pt.Len(), len(ref))
+	}
+	for k, want := range ref {
+		if v, ok := pt.Get(k); !ok || v != want {
+			t.Fatalf("Get(%#x) = %d, %v; want %d", k, v, ok, want)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		k := rng.Uint64()
+		if k == 0 {
+			continue
+		}
+		if _, hit := ref[k]; hit {
+			continue
+		}
+		if v, ok := pt.Get(k); ok {
+			t.Fatalf("absent key %#x returned %d", k, v)
 		}
 	}
 }

@@ -1,0 +1,81 @@
+package container
+
+// PairTable maps packed pair keys to dense int32 handles with open
+// addressing — the dedup index of blocking-graph construction. Keys
+// must be nonzero (a canonical pair a < b packs to a nonzero word, so
+// zero is free as the empty-slot sentinel). Compared to a Go map it
+// stores 12 bytes per slot flat, so the doubling growth of a build's
+// dedup index allocates roughly half the bytes.
+//
+// The zero value is ready to use.
+type PairTable struct {
+	keys []uint64
+	vals []int32
+	n    int
+}
+
+// Len returns the number of stored keys.
+func (t *PairTable) Len() int { return t.n }
+
+// Get returns the handle stored under key, if any.
+func (t *PairTable) Get(key uint64) (int32, bool) {
+	if t.n == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := hashPair(key) & mask; ; i = (i + 1) & mask {
+		k := t.keys[i]
+		if k == key {
+			return t.vals[i], true
+		}
+		if k == 0 {
+			return 0, false
+		}
+	}
+}
+
+// Put stores val under key. The key must not already be present — the
+// graph builders only Put after a failed Get.
+func (t *PairTable) Put(key uint64, val int32) {
+	if 4*(t.n+1) > 3*len(t.keys) {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := hashPair(key) & mask
+	for t.keys[i] != 0 {
+		i = (i + 1) & mask
+	}
+	t.keys[i] = key
+	t.vals[i] = val
+	t.n++
+}
+
+func (t *PairTable) grow() {
+	newCap := 1 << 10
+	if len(t.keys) > 0 {
+		newCap = 2 * len(t.keys)
+	}
+	keys := make([]uint64, newCap)
+	vals := make([]int32, newCap)
+	mask := uint64(newCap - 1)
+	for i, k := range t.keys {
+		if k == 0 {
+			continue
+		}
+		j := hashPair(k) & mask
+		for keys[j] != 0 {
+			j = (j + 1) & mask
+		}
+		keys[j] = k
+		vals[j] = t.vals[i]
+	}
+	t.keys, t.vals = keys, vals
+}
+
+// hashPair spreads a packed pair key (Fibonacci multiplicative
+// hashing); the high bits feed the table index after masking, so mix
+// them down.
+func hashPair(key uint64) uint64 {
+	h := key * 0x9E3779B97F4A7C15
+	return h ^ (h >> 29)
+}

@@ -204,6 +204,13 @@ type pairState struct {
 	// cluster-independent: the memo can never go stale.
 	vsim    float64
 	hasVsim bool
+	// nsim is the speculatively scored neighbor similarity, exact only
+	// while the cluster version still equals nsimVer — unlike vsim it
+	// depends on the evolving merge state, so the committer revalidates
+	// the stamp before trusting it (parallel engine only).
+	nsim    float64
+	nsimVer uint64
+	hasNsim bool
 }
 
 // NewResolver prepares a progressive run over the pruned comparison
@@ -364,7 +371,18 @@ func (r *Resolver) next() (Step, bool) {
 func (r *Resolver) execute(p blocking.Pair, st *pairState) Step {
 	st.done = true
 	t0 := time.Now()
-	score, matched := r.matcher.DecideValue(p.A, p.B, r.valueSim(p, st), r.cl)
+	// valueSim may block on an in-flight wave, which also fills the
+	// pair's speculative neighbor score — check its stamp only after.
+	v := r.valueSim(p, st)
+	var score float64
+	var matched bool
+	if st.hasNsim && st.nsimVer == r.cl.UF().Version() {
+		// No merge landed since the wave launched: the speculative
+		// neighbor score is exactly what DecideValue would recompute.
+		score, matched = r.matcher.DecideScored(p.A, p.B, v, st.nsim, r.cl)
+	} else {
+		score, matched = r.matcher.DecideValue(p.A, p.B, v, r.cl)
+	}
 	r.tim.Match += time.Since(t0)
 	step := Step{A: p.A, B: p.B, Score: score, Matched: matched,
 		Discovered: st.discovered, Recheck: st.recheck}

@@ -46,11 +46,24 @@ const (
 )
 
 // waveItem is one speculation slot: the committer fills st before
-// launch, a single worker writes v, and the committer reads both
-// after the wave's channel handoff — no slot is ever shared.
+// launch, a single worker writes v and ns, and the committer reads
+// them after the wave's channel handoff — no slot is ever shared.
 type waveItem struct {
 	st *pairState
 	v  float64
+	ns float64 // neighbor similarity, exact only at the wave's version
+}
+
+// wave is one launched batch of speculation slots plus the cluster
+// version the committer stamped at launch. Value similarity is
+// cluster-independent and always exact; neighbor similarity is read
+// off the live union-find and is exact only while no merge lands —
+// i.e. while the cluster version still equals ver. The committer
+// checks that at use and recomputes inline otherwise, so a stale
+// speculation costs one redundant computation, never a wrong trace.
+type wave struct {
+	items []waveItem
+	ver   uint64
 }
 
 // speculator coordinates the scoring workers for one resolver. All of
@@ -77,7 +90,7 @@ type speculator struct {
 	queue    []*pairState // initial pairs, highest priority first
 	cursor   int          // next queue index to hand to a wave
 	fresh    []*pairState // pairs the update phase just pushed
-	waves    chan []waveItem
+	waves    chan wave
 	pending  int // waves launched but not merged
 }
 
@@ -103,7 +116,7 @@ func newSpeculator(r *Resolver, workers int) *speculator {
 		workers:  workers,
 		waveSize: workers * 64,
 		queue:    queue,
-		waves:    make(chan []waveItem, maxPending),
+		waves:    make(chan wave, maxPending),
 	}
 }
 
@@ -169,27 +182,33 @@ func (s *speculator) noteFresh(st *pairState) {
 
 // launch starts one wave: workers score disjoint strides of the wave
 // into their own slots, and a collector hands the completed wave to
-// the committer through the buffered channel.
-func (s *speculator) launch(wave []waveItem) {
+// the committer through the buffered channel. Each slot gets the
+// pair's value similarity (always exact) and its neighbor similarity
+// read lock-free off the live cluster state, stamped with the cluster
+// version at launch — exact for as long as that version holds.
+func (s *speculator) launch(items []waveItem) {
 	var wg sync.WaitGroup
 	workers := s.workers
-	if workers > len(wave) {
-		workers = len(wave)
+	if workers > len(items) {
+		workers = len(items)
 	}
 	m := s.r.matcher
+	uf := s.r.cl.UF()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := w; i < len(wave); i += workers {
-				p := wave[i].st.pair
-				wave[i].v = m.ValueSim(p.A, p.B)
+			for i := w; i < len(items); i += workers {
+				p := items[i].st.pair
+				items[i].v = m.ValueSim(p.A, p.B)
+				items[i].ns = m.NeighborSimRead(p.A, p.B, uf)
 			}
 		}(w)
 	}
+	wv := wave{items: items, ver: uf.Version()}
 	go func() {
 		wg.Wait()
-		s.waves <- wave
+		s.waves <- wv
 	}()
 	s.pending++
 }
@@ -198,21 +217,22 @@ func (s *speculator) launch(wave []waveItem) {
 // set it waits for at least one in-flight wave to finish.
 func (s *speculator) drain(block bool) {
 	for s.pending > 0 {
-		var wave []waveItem
+		var wv wave
 		if block {
-			wave = <-s.waves
+			wv = <-s.waves
 			block = false
 		} else {
 			select {
-			case wave = <-s.waves:
+			case wv = <-s.waves:
 			default:
 				return
 			}
 		}
 		s.pending--
-		for _, it := range wave {
+		for _, it := range wv.items {
 			it.st.inflight = false
 			it.st.vsim, it.st.hasVsim = it.v, true
+			it.st.nsim, it.st.nsimVer, it.st.hasNsim = it.ns, wv.ver, true
 		}
 	}
 }

@@ -74,6 +74,7 @@ func (r *Resolver) Reseed(m *match.Matcher, edges []metablocking.Edge) {
 		} else {
 			delete(old, k)
 			st.hasVsim, st.vsim, st.inflight = false, 0, false
+			st.hasNsim = false
 		}
 		st.base = e.Weight / r.maxW
 		if st.done && !r.cl.Same(p.A, p.B) {
@@ -99,6 +100,7 @@ func (r *Resolver) Reseed(m *match.Matcher, edges []metablocking.Edge) {
 			continue
 		}
 		st.hasVsim, st.vsim, st.inflight = false, 0, false
+		st.hasNsim = false
 		r.states[k] = st
 		if !st.done {
 			leftovers = append(leftovers, st)

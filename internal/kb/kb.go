@@ -189,6 +189,48 @@ func (c *Collection) Evict(id int) bool {
 	return true
 }
 
+// Compact returns a copy of the collection holding only the live
+// descriptions, re-assigned dense ids in the same relative order,
+// together with the old→new id mapping (-1 for tombstoned ids). The
+// copy shares the description values (they are immutable under the
+// append-only Add discipline) and inherits the token cache, so
+// compaction never re-tokenizes; it starts with no pending merges,
+// evictions, or tombstones — a collection that never held the departed
+// descriptions. The receiver is left untouched.
+//
+// Long-lived sessions with eviction (TTL windows especially) call this
+// when tombstone density crosses a threshold: ids are never reused
+// within a collection, so every id-indexed structure — token cache,
+// per-node graph arrays, cluster state — otherwise keeps paying for
+// descriptions that left long ago.
+func (c *Collection) Compact() (*Collection, []int) {
+	nc := NewCollection()
+	oldToNew := make([]int, len(c.descs))
+	for id, d := range c.descs {
+		if !c.Alive(id) {
+			oldToNew[id] = -1
+			continue
+		}
+		oldToNew[id] = nc.Add(d)
+	}
+	nc.merged = nil // distinct live KB+URI pairs: the Adds never merged
+	if c.hasToken {
+		nc.tokens = make([][]string, len(nc.descs))
+		nc.tokOpts = c.tokOpts
+		nc.hasToken = true
+		for id, nid := range oldToNew {
+			if nid >= 0 {
+				nc.tokens[nid] = c.tokens[id]
+			}
+		}
+	}
+	return nc, oldToNew
+}
+
+// Tombstones returns how many ids are tombstoned — the numerator of
+// the compaction-density test.
+func (c *Collection) Tombstones() int { return c.numDead }
+
 // Alive reports whether the id is live (not tombstoned by Evict).
 func (c *Collection) Alive(id int) bool { return c.numDead == 0 || !c.dead[id] }
 

@@ -179,6 +179,68 @@ func TestAddPreservesTokenCache(t *testing.T) {
 	}
 }
 
+// TestCompact pins the id-space compaction contract: live descriptions
+// move into a fresh collection under dense ids in old-id order, the
+// returned mapping marks tombstones with -1, lookups and KB bookkeeping
+// work against the new ids, the token cache is carried over (no
+// re-tokenization), and the compacted collection starts with no
+// tombstones and nothing pending.
+func TestCompact(t *testing.T) {
+	c := NewCollection()
+	opts := tokenize.Default()
+	var ids []int
+	for _, u := range []string{"a", "b", "c", "d", "e"} {
+		ids = append(ids, c.Add(&Description{URI: u, KB: "k1",
+			Attrs: []Attribute{{"p", "value " + u}}}))
+	}
+	other := c.Add(&Description{URI: "a", KB: "k2",
+		Attrs: []Attribute{{"p", "other kb"}}})
+	cached := c.Tokens(ids[2], opts) // warm one slot of the cache
+	c.Evict(ids[1])
+	c.Evict(ids[3])
+	c.TakeEvicted() // a session would have consumed these already
+
+	nc, oldToNew := c.Compact()
+	if len(oldToNew) != c.Len() {
+		t.Fatalf("mapping covers %d ids, want %d", len(oldToNew), c.Len())
+	}
+	want := []int{0, -1, 1, -1, 2, 3}
+	if !reflect.DeepEqual(oldToNew, want) {
+		t.Fatalf("oldToNew=%v, want %v (dense, old-id order, -1 for tombstones)", oldToNew, want)
+	}
+	if nc.Len() != 4 || nc.NumAlive() != 4 || nc.Tombstones() != 0 {
+		t.Fatalf("compacted: Len=%d NumAlive=%d Tombstones=%d, want 4/4/0",
+			nc.Len(), nc.NumAlive(), nc.Tombstones())
+	}
+	if nc.HasMerged() || nc.HasEvicted() {
+		t.Fatal("compacted collection starts with pending merges or evictions")
+	}
+	for oid, nid := range oldToNew {
+		if nid < 0 {
+			continue
+		}
+		if nc.Desc(nid) != c.Desc(oid) {
+			t.Fatalf("id %d→%d does not share the description", oid, nid)
+		}
+	}
+	if got, ok := nc.IDOf("k2", "a"); !ok || got != oldToNew[other] {
+		t.Fatalf("IDOf(k2,a)=%d,%v — byURI index broken", got, ok)
+	}
+	if nc.NumKBs() != 2 || nc.NumLiveKBs() != 2 {
+		t.Fatalf("KB bookkeeping: NumKBs=%d NumLiveKBs=%d, want 2/2", nc.NumKBs(), nc.NumLiveKBs())
+	}
+	// The warmed cache slot must carry over — same backing array, so
+	// compaction never pays a re-tokenization.
+	carried := nc.Tokens(oldToNew[ids[2]], opts)
+	if len(cached) == 0 || &carried[0] != &cached[0] {
+		t.Fatal("token cache not carried across compaction")
+	}
+	// The original is untouched — compaction is a pure read.
+	if c.NumAlive() != 4 || c.Tombstones() != 2 {
+		t.Fatalf("source mutated: NumAlive=%d Tombstones=%d", c.NumAlive(), c.Tombstones())
+	}
+}
+
 func TestTakeMerged(t *testing.T) {
 	c := loadSample(t)
 	if got := c.TakeMerged(); got != nil {

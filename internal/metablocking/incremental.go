@@ -31,6 +31,19 @@ type UpdateStats struct {
 	// KB appeared, or eviction emptied all KBs but one), which changes
 	// the pair semantics of every block.
 	Rebuilt bool
+
+	// DirtyNodes lists every node whose neighborhood changed —
+	// endpoints of touched edges, plus (after FinishUpdate) endpoints
+	// of edges whose weight moved bitwise. A node absent from this list
+	// has the same incident edges with the same weights as before the
+	// update, so its node-centric pruning verdicts are unchanged — the
+	// input locality-aware re-pruning runs on. Sorted and
+	// duplicate-free after FinishUpdate; meaningless when Rebuilt.
+	DirtyNodes []int32
+	// OldToNew maps each pre-update edge index to its post-update index
+	// (-1 when the edge was dropped). Nil means the edge list is
+	// positionally unchanged — and always nil when Rebuilt.
+	OldToNew []int32
 }
 
 // Update transforms g — which must equal Build(oldCol, anyScheme) up to
@@ -40,10 +53,48 @@ type UpdateStats struct {
 // and weights are refreshed globally (linear work).
 func (g *Graph) Update(oldCol, newCol *blocking.Collection, scheme Scheme) UpdateStats {
 	st := g.UpdateStructure(oldCol, newCol, scheme)
-	if !st.Rebuilt {
-		g.reweigh(scheme)
-	}
+	g.FinishUpdate(&st, func() { g.reweigh(scheme) })
 	return st
+}
+
+// FinishUpdate completes an incremental update after UpdateStructure:
+// it snapshots the carried-through weights, runs the caller's reweigh
+// (sequential, or sharded — the shared-memory engine's path), then
+// bitwise-compares old and new weights and extends st.DirtyNodes with
+// the endpoints of every edge whose weight moved. Global-normalizer
+// schemes (ECBS's block total, EJS's edge total) shift every weight
+// when the totals change, so the dirty set saturates and locality-aware
+// re-pruning falls back to a full pass automatically — the fallback is
+// a property of the weights, not a special case. No-op when the update
+// fell back to a rebuild.
+func (g *Graph) FinishUpdate(st *UpdateStats, reweigh func()) {
+	if st.Rebuilt {
+		return
+	}
+	old := make([]float64, len(g.Edges))
+	for i := range g.Edges {
+		old[i] = g.Edges[i].Weight
+	}
+	reweigh()
+	for i := range g.Edges {
+		if g.Edges[i].Weight != old[i] {
+			e := &g.Edges[i]
+			st.DirtyNodes = append(st.DirtyNodes, int32(e.A), int32(e.B))
+		}
+	}
+	st.DirtyNodes = dedupInt32(st.DirtyNodes)
+}
+
+// dedupInt32 sorts xs and drops duplicates in place.
+func dedupInt32(xs []int32) []int32 {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:0]
+	for i, v := range xs {
+		if i == 0 || v != xs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // UpdateStructure is Update without the final reweigh pass: it brings
@@ -106,6 +157,14 @@ func (g *Graph) UpdateStructure(oldCol, newCol *blocking.Collection, scheme Sche
 		}
 	}
 	stats.EdgesTouched = len(touched)
+	// Both endpoints of every touched edge — present, added, or removed
+	// — have a changed neighborhood. (The key IS the endpoint pair, so
+	// removed edges contribute theirs too.) FinishUpdate dedups after
+	// appending the weight-dirty endpoints.
+	stats.DirtyNodes = make([]int32, 0, 2*len(touched))
+	for k := range touched {
+		stats.DirtyNodes = append(stats.DirtyNodes, int32(k>>32), int32(uint32(k)))
+	}
 
 	numNodes := newCol.Source.Len()
 	// Per-node block counts and the block total are integer recounts
@@ -121,7 +180,7 @@ func (g *Graph) UpdateStructure(oldCol, newCol *blocking.Collection, scheme Sche
 	}
 
 	if len(touched) > 0 {
-		g.applyTouched(newCol, touched)
+		stats.OldToNew = g.applyTouched(newCol, touched)
 	}
 
 	// Degrees are integer recounts over the merged edge list.
@@ -134,8 +193,12 @@ func (g *Graph) UpdateStructure(oldCol, newCol *blocking.Collection, scheme Sche
 }
 
 // applyTouched recomputes every touched edge's statistics from the new
-// collection and merges the results into the sorted edge arrays.
-func (g *Graph) applyTouched(newCol *blocking.Collection, touched map[uint64]struct{}) {
+// collection and merges the results into the sorted edge arrays. It
+// returns the old-index → new-index mapping (-1 for dropped edges).
+// Pass-through edges keep their old weight so that FinishUpdate's
+// bitwise weight comparison sees exactly which weights the reweigh
+// moved; touched edges get weight 0 (stale either way until reweigh).
+func (g *Graph) applyTouched(newCol *blocking.Collection, touched map[uint64]struct{}) []int32 {
 	// Canonical recomputation needs, per touched edge, the blocks
 	// containing both endpoints in ascending block order — the order
 	// Build folds evidence in. The entity→blocks index and per-block
@@ -187,9 +250,10 @@ func (g *Graph) applyTouched(newCol *blocking.Collection, touched map[uint64]str
 	edges := make([]Edge, 0, len(g.Edges)+len(newRecs))
 	common := make([]int, 0, cap(edges))
 	arcs := make([]float64, 0, cap(edges))
+	oldToNew := make([]int32, len(g.Edges))
 	ei, ri := 0, 0
-	emit := func(a, b int32, c int32, s float64) {
-		edges = append(edges, Edge{A: int(a), B: int(b)})
+	emit := func(a, b int32, c int32, s float64, w float64) {
+		edges = append(edges, Edge{A: int(a), B: int(b), Weight: w})
 		common = append(common, int(c))
 		arcs = append(arcs, s)
 	}
@@ -205,24 +269,30 @@ func (g *Graph) applyTouched(newCol *blocking.Collection, touched map[uint64]str
 				// existing edges always compare equal to their key.
 				panic("metablocking: touched edge out of merge order")
 			}
-			emit(int32(g.Edges[ei].A), int32(g.Edges[ei].B), int32(g.common[ei]), g.arcs[ei])
+			emit(int32(g.Edges[ei].A), int32(g.Edges[ei].B),
+				int32(g.common[ei]), g.arcs[ei], g.Edges[ei].Weight)
+			oldToNew[ei] = int32(len(edges) - 1)
 			ei++
 		case ei == len(g.Edges) || keys[ri] < ek:
 			r := &newRecs[ri]
 			if r.common > 0 {
-				emit(r.a, r.b, r.common, r.arcs)
+				emit(r.a, r.b, r.common, r.arcs, 0)
 			}
 			ri++
 		default: // same edge: recomputed stats win
 			r := &newRecs[ri]
 			if r.common > 0 {
-				emit(r.a, r.b, r.common, r.arcs)
+				emit(r.a, r.b, r.common, r.arcs, 0)
+				oldToNew[ei] = int32(len(edges) - 1)
+			} else {
+				oldToNew[ei] = -1
 			}
 			ei++
 			ri++
 		}
 	}
 	g.Edges, g.common, g.arcs = edges, common, arcs
+	return oldToNew
 }
 
 func sameInts(a, b []int) bool {

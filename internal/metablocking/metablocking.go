@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"unsafe"
 
 	"repro/internal/blocking"
 	"repro/internal/container"
@@ -119,63 +120,10 @@ func edgeKey(a, b int32) uint64 {
 // Build constructs the blocking graph and computes edge weights under
 // the given scheme. Evidence is folded in block order, one occurrence
 // at a time — the float accumulation order every parallel builder must
-// replay to stay bit-identical.
+// replay to stay bit-identical. It is BuildStream over the collection's
+// stream adapter; a collection is just one source of blocks.
 func Build(col *blocking.Collection, scheme Scheme) *Graph {
-	g := &Graph{NumNodes: col.Source.Len(), nBlock: col.NumBlocks(), nLive: col.Source.NumAlive()}
-	g.blocks = make([]int32, g.NumNodes)
-	idx := make(map[uint64]int32)
-	var recs []edgeStat
-	for i := range col.Blocks {
-		b := &col.Blocks[i]
-		cmp := b.Comparisons(col.Source, col.CleanClean)
-		for _, id := range b.Entities {
-			g.blocks[id]++
-		}
-		if cmp == 0 {
-			continue
-		}
-		inv := 1 / float64(cmp)
-		for x := 0; x < len(b.Entities); x++ {
-			for y := x + 1; y < len(b.Entities); y++ {
-				a, bb := b.Entities[x], b.Entities[y]
-				if col.CleanClean && !col.Source.CrossKB(a, bb) {
-					continue
-				}
-				if a > bb {
-					a, bb = bb, a
-				}
-				key := edgeKey(int32(a), int32(bb))
-				j, ok := idx[key]
-				if !ok {
-					j = int32(len(recs))
-					idx[key] = j
-					recs = append(recs, edgeStat{a: int32(a), b: int32(bb)})
-				}
-				recs[j].common++
-				recs[j].arcs += inv
-			}
-		}
-	}
-	sort.Slice(recs, func(x, y int) bool {
-		if recs[x].a != recs[y].a {
-			return recs[x].a < recs[y].a
-		}
-		return recs[x].b < recs[y].b
-	})
-	g.Edges = make([]Edge, len(recs))
-	g.common = make([]int, len(recs))
-	g.arcs = make([]float64, len(recs))
-	g.degree = make([]int32, g.NumNodes)
-	for i := range recs {
-		r := &recs[i]
-		g.Edges[i] = Edge{A: int(r.a), B: int(r.b)}
-		g.common[i] = int(r.common)
-		g.arcs[i] = r.arcs
-		g.degree[r.a]++
-		g.degree[r.b]++
-	}
-	g.reweigh(scheme)
-	return g
+	return BuildStream(col.Stream(), scheme)
 }
 
 // Reweigh recomputes edge weights under a different scheme without
@@ -225,6 +173,17 @@ func safeLog(x float64) float64 {
 
 // NumEdges returns the number of distinct candidate comparisons.
 func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Footprint returns the graph's approximate heap footprint in bytes:
+// the edge records plus the per-edge and per-node weighting evidence
+// it retains for incremental reweighing. An observability gauge (the
+// server's /status memory panel), not an accounting truth — it counts
+// the backing arrays the graph owns, not allocator overhead.
+func (g *Graph) Footprint() int {
+	const edgeSize = int(unsafe.Sizeof(Edge{}))
+	return len(g.Edges)*edgeSize + len(g.common)*8 + len(g.arcs)*8 +
+		len(g.blocks)*4 + len(g.degree)*4
+}
 
 // Pruning selects the pruning algorithm.
 type Pruning int
@@ -349,39 +308,58 @@ func (g *Graph) pruneCEP(opts PruneOptions) []Edge {
 	return top.Drain()
 }
 
-// neighborhoods returns, for every node, the indices of its incident
-// edges.
-func (g *Graph) neighborhoods() [][]int32 {
-	adj := make([][]int32, g.NumNodes)
-	for i, e := range g.Edges {
-		adj[e.A] = append(adj[e.A], int32(i))
-		adj[e.B] = append(adj[e.B], int32(i))
-	}
-	return adj
-}
+// Per-endpoint retention verdicts of the node-centric algorithms. Two
+// bits per edge instead of a count: locality-aware re-pruning needs to
+// know *which* endpoint retained an edge, so a dirty node can flip its
+// own bit without recomputing the other side. Shared with the parallel
+// engine (internal/parmeta), whose verdicts must be memo-compatible.
+const (
+	KeptByA uint8 = 1 << iota
+	KeptByB
+)
 
 func (g *Graph) pruneWNP(reciprocal bool) []Edge {
-	adj := g.neighborhoods()
-	retainedBy := make([]uint8, len(g.Edges)) // count of endpoints retaining
-	for _, edges := range adj {
-		if len(edges) == 0 {
-			continue
-		}
-		sum := 0.0
-		for _, ei := range edges {
-			sum += g.Edges[ei].Weight
-		}
-		mean := sum / float64(len(edges))
-		for _, ei := range edges {
-			if g.Edges[ei].Weight >= mean {
-				retainedBy[ei]++
-			}
-		}
-	}
-	return g.collect(retainedBy, reciprocal)
+	flags := make([]uint8, len(g.Edges))
+	g.wnpFlags(flags)
+	return g.collect(flags, reciprocal)
 }
 
-func (g *Graph) pruneCNP(opts PruneOptions) []Edge {
+// wnpFlags fills per-endpoint retention bits for weight node pruning
+// without materializing any adjacency. Each node's incident weights are
+// accumulated in ascending edge-index order — exactly the order the
+// materialized neighborhood walk summed them in — so the means, and
+// therefore every verdict, are bit-identical to the reference.
+func (g *Graph) wnpFlags(flags []uint8) {
+	sum := make([]float64, g.NumNodes)
+	cnt := make([]int32, g.NumNodes)
+	for _, e := range g.Edges {
+		sum[e.A] += e.Weight
+		cnt[e.A]++
+		sum[e.B] += e.Weight
+		cnt[e.B]++
+	}
+	for v := range sum {
+		if cnt[v] > 0 {
+			sum[v] /= float64(cnt[v]) // now the neighborhood mean
+		}
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.Weight >= sum[e.A] {
+			flags[i] |= KeptByA
+		}
+		if e.Weight >= sum[e.B] {
+			flags[i] |= KeptByB
+		}
+	}
+}
+
+// ResolveK returns CNP's effective per-node budget under opts —
+// opts.KPerNode when pinned, else the paper's BC-derived default
+// ceil(assignments / live nodes). Exported so locality-aware
+// re-pruning can detect that an update shifted the default k (the
+// memoized verdicts are then invalid for CNP and a full pass runs).
+func (g *Graph) ResolveK(opts PruneOptions) int {
 	k := opts.KPerNode
 	if live := g.LiveNodes(); k <= 0 && live > 0 {
 		k = (opts.Assignments + live - 1) / live
@@ -389,37 +367,118 @@ func (g *Graph) pruneCNP(opts PruneOptions) []Edge {
 	if k <= 0 {
 		k = 1
 	}
-	adj := g.neighborhoods()
-	retainedBy := make([]uint8, len(g.Edges))
-	for _, edges := range adj {
-		if len(edges) == 0 {
-			continue
-		}
-		top := container.NewBoundedTopK(k, func(a, b int32) bool {
-			ea, eb := g.Edges[a], g.Edges[b]
-			if ea.Weight != eb.Weight {
-				return ea.Weight < eb.Weight
-			}
-			return a > b
-		})
-		for _, ei := range edges {
-			top.Offer(ei)
-		}
-		for _, ei := range top.Drain() {
-			retainedBy[ei]++
-		}
-	}
-	return g.collect(retainedBy, opts.Reciprocal)
+	return k
 }
 
-func (g *Graph) collect(retainedBy []uint8, reciprocal bool) []Edge {
-	need := uint8(1)
-	if reciprocal {
-		need = 2
+func (g *Graph) pruneCNP(opts PruneOptions) []Edge {
+	flags := make([]uint8, len(g.Edges))
+	g.cnpFlags(g.ResolveK(opts), flags)
+	return g.collect(flags, opts.Reciprocal)
+}
+
+// cnpFlags fills per-endpoint retention bits for cardinality node
+// pruning using a slab of bounded min-heaps — one row per node, sized
+// min(k, deg(v)) — instead of materialized neighborhoods plus a heap
+// allocation per node. The comparator (weight, then higher edge index
+// loses ties) is a strict total order, so the per-node top-k *set* is
+// unique and the verdicts match the reference bit for bit.
+func (g *Graph) cnpFlags(k int, flags []uint8) {
+	start := make([]int32, g.NumNodes+1)
+	pos := int32(0)
+	for v := 0; v < g.NumNodes; v++ {
+		start[v] = pos
+		c := int32(g.degree[v])
+		if c > int32(k) {
+			c = int32(k)
+		}
+		pos += c
 	}
-	var kept []Edge
-	for i, n := range retainedBy {
-		if n >= need {
+	start[g.NumNodes] = pos
+	heap := make([]int32, pos)
+	hlen := make([]int32, g.NumNodes)
+
+	// less reports a's edge ranking strictly below b's.
+	less := func(a, b int32) bool {
+		ea, eb := &g.Edges[a], &g.Edges[b]
+		if ea.Weight != eb.Weight {
+			return ea.Weight < eb.Weight
+		}
+		return a > b
+	}
+	offer := func(v int, ei int32) {
+		h := heap[start[v]:start[v+1]]
+		n := hlen[v]
+		if int(n) < len(h) {
+			// Push and sift up.
+			h[n] = ei
+			i := n
+			for i > 0 {
+				p := (i - 1) / 2
+				if !less(h[i], h[p]) {
+					break
+				}
+				h[i], h[p] = h[p], h[i]
+				i = p
+			}
+			hlen[v] = n + 1
+			return
+		}
+		if n == 0 || !less(h[0], ei) {
+			return // not better than the current minimum
+		}
+		// Replace the root and sift down.
+		h[0] = ei
+		i := int32(0)
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			m := l
+			if r := l + 1; r < n && less(h[r], h[l]) {
+				m = r
+			}
+			if !less(h[m], h[i]) {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		offer(e.A, int32(i))
+		offer(e.B, int32(i))
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		h := heap[start[v] : start[v]+hlen[v]]
+		for _, ei := range h {
+			if g.Edges[ei].A == v {
+				flags[ei] |= KeptByA
+			} else {
+				flags[ei] |= KeptByB
+			}
+		}
+	}
+}
+
+func (g *Graph) collect(flags []uint8, reciprocal bool) []Edge {
+	both := KeptByA | KeptByB
+	keep := func(f uint8) bool {
+		if reciprocal {
+			return f == both
+		}
+		return f != 0
+	}
+	n := 0
+	for _, f := range flags {
+		if keep(f) {
+			n++
+		}
+	}
+	kept := make([]Edge, 0, n)
+	for i, f := range flags {
+		if keep(f) {
 			kept = append(kept, g.Edges[i])
 		}
 	}

@@ -262,3 +262,46 @@ func TestPruningKeepsMatches(t *testing.T) {
 		t.Errorf("WNP kept only %.2f of matches (%d/%d)", ratio, matchesAfter, matchesBefore)
 	}
 }
+
+// TestBuildStreamMatchesBuild is the graph half of the iterator-
+// composed stage differential: folding blocks from a stream must
+// produce a graph bit-identical — edges, canonical order, float
+// weights, per-node counters — to building from the materialized
+// collection, for every weighting scheme, on both a hand fixture and a
+// generated world flowing through the full purge/filter chain.
+func TestBuildStreamMatchesBuild(t *testing.T) {
+	w, err := datagen.Generate(datagen.TwoKBs(21, 120, datagen.Center(), datagen.Center()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := blocking.TokenBlocking(w.Collection, tokenize.Default()).Purge(0).Filter(0.8)
+	genStream := blocking.TokenBlockingStream(w.Collection, tokenize.Default()).Purge(0).Filter(0.8)
+	for _, tc := range []struct {
+		name   string
+		col    *blocking.Collection
+		stream blocking.Stream
+	}{
+		{"fixture", fixture(t), fixture(t).Stream()},
+		{"generated", gen, genStream},
+	} {
+		for _, scheme := range []Scheme{CBS, ECBS, JS, EJS, ARCS} {
+			want := Build(tc.col, scheme)
+			got := BuildStream(tc.stream, scheme)
+			if got.NumNodes != want.NumNodes || got.NumEdges() != want.NumEdges() {
+				t.Fatalf("%s/%v: graph shape %d nodes %d edges, want %d/%d",
+					tc.name, scheme, got.NumNodes, got.NumEdges(), want.NumNodes, want.NumEdges())
+			}
+			for i := range want.Edges {
+				if got.Edges[i] != want.Edges[i] {
+					t.Fatalf("%s/%v: edge %d = %+v, want %+v", tc.name, scheme, i, got.Edges[i], want.Edges[i])
+				}
+			}
+			for id := 0; id < want.NumNodes; id++ {
+				if got.blocks[id] != want.blocks[id] || got.degree[id] != want.degree[id] {
+					t.Fatalf("%s/%v: node %d counters (%d,%d), want (%d,%d)", tc.name, scheme, id,
+						got.blocks[id], got.degree[id], want.blocks[id], want.degree[id])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package metablocking
+
+import "repro/internal/container"
+
+// Locality-aware re-pruning for the node-centric algorithms.
+//
+// WNP and CNP verdicts are per-endpoint facts: an edge survives because
+// a specific endpoint retained it, and that endpoint's verdicts depend
+// only on its own incident edges and their weights. After an
+// incremental update, a node whose neighborhood did not change — no
+// incident edge added, dropped, or reweighed bitwise (UpdateStats.
+// DirtyNodes lists exactly the others) — would re-derive the exact
+// same verdicts, so its memoized retention bits can be reused and only
+// the dirty neighborhoods are recomputed. Global-normalizer schemes
+// (ECBS, EJS) shift every weight when their totals move, saturating the
+// dirty set; the fallback to a full pass is then automatic, a property
+// of the weights rather than a special case.
+
+// PruneMemo carries the per-edge retention bits of a node-centric prune
+// so a later incremental update can re-derive only the dirty
+// neighborhoods. Flags[i] holds the KeptByA/KeptByB verdicts of
+// g.Edges[i]; the memo is positionally bound to the edge list it was
+// computed over and must be Remapped across structural updates.
+type PruneMemo struct {
+	// Alg is the pruning algorithm the verdicts belong to (WNP or CNP).
+	Alg Pruning
+	// Reciprocal records the retention rule the edges were collected
+	// under; a memo is only reusable under the same rule.
+	Reciprocal bool
+	// K is the effective CNP per-node budget the verdicts were computed
+	// with (zero for WNP). If an update shifts the effective budget —
+	// the default k tracks assignments and live nodes — every node's
+	// top-k is suspect and the memo must not be reused.
+	K int
+	// Flags holds the per-edge retention bits, parallel to g.Edges.
+	Flags []uint8
+}
+
+// PruneMemoized is Prune plus a reusable memo for the node-centric
+// algorithms. For WEP and CEP — whose verdicts hang on global
+// aggregates with no per-node locality to exploit — it returns a nil
+// memo and defers to Prune. The kept edges are bit-identical to
+// Prune's under the same options.
+func (g *Graph) PruneMemoized(alg Pruning, opts PruneOptions) ([]Edge, *PruneMemo) {
+	var memo *PruneMemo
+	switch alg {
+	case WNP:
+		flags := make([]uint8, len(g.Edges))
+		g.wnpFlags(flags)
+		memo = &PruneMemo{Alg: alg, Reciprocal: opts.Reciprocal, Flags: flags}
+	case CNP:
+		k := g.ResolveK(opts)
+		flags := make([]uint8, len(g.Edges))
+		g.cnpFlags(k, flags)
+		memo = &PruneMemo{Alg: alg, Reciprocal: opts.Reciprocal, K: k, Flags: flags}
+	default:
+		return g.Prune(alg, opts), nil
+	}
+	kept := g.collect(memo.Flags, memo.Reciprocal)
+	sortEdges(kept)
+	return kept, memo
+}
+
+// Remap rebases the memo onto a post-update edge index space: oldToNew
+// is UpdateStats.OldToNew (nil = positionally unchanged), newLen the
+// updated graph's edge count. Verdict bits follow their surviving
+// edges; inserted edges start with no verdicts — their endpoints are
+// dirty by construction, so RepruneLocal derives them. Always returns
+// a fresh memo; the receiver is not mutated.
+func (m *PruneMemo) Remap(oldToNew []int32, newLen int) *PruneMemo {
+	flags := make([]uint8, newLen)
+	if oldToNew == nil {
+		copy(flags, m.Flags)
+	} else {
+		for oi, f := range m.Flags {
+			if ni := oldToNew[oi]; ni >= 0 {
+				flags[ni] = f
+			}
+		}
+	}
+	return &PruneMemo{Alg: m.Alg, Reciprocal: m.Reciprocal, K: m.K, Flags: flags}
+}
+
+// RepruneStats reports how much work a re-prune did — the evidence it
+// stayed proportional to the touched neighborhoods.
+type RepruneStats struct {
+	// Full reports that the pass fell back to a full re-prune (memo
+	// missing or invalidated); the remaining fields are then zero.
+	Full bool
+	// DirtyNodes and TotalNodes size the recomputed neighborhood set
+	// against the graph.
+	DirtyNodes, TotalNodes int
+	// VisitedEdges counts edge visits during verdict re-derivation
+	// (each dirty incidence once per dirty endpoint); TotalEdges is
+	// what a full node-centric pass would have visited twice.
+	VisitedEdges, TotalEdges int
+}
+
+// RepruneLocal re-derives the node-centric verdicts of the dirty nodes
+// only, reusing the memoized bits everywhere else, and returns the
+// retained edges — bit-identical to a full Prune(memo.Alg, ...) under
+// the memo's options — plus the work accounting. memo.Flags must
+// already be remapped to g's current edge list (see Remap); dirty is
+// UpdateStats.DirtyNodes. The memo is updated in place and remains
+// valid for the next round.
+//
+// The scan to gather dirty incidences is linear and cheap (integer
+// compares, no float work); the superlinear part of node-centric
+// pruning — per-neighborhood means and top-k heaps — runs only over
+// the dirty rows.
+func (g *Graph) RepruneLocal(memo *PruneMemo, dirty []int32) ([]Edge, RepruneStats) {
+	if len(memo.Flags) != len(g.Edges) {
+		panic("metablocking: PruneMemo not remapped to the current edge list")
+	}
+	st := RepruneStats{
+		DirtyNodes: len(dirty),
+		TotalNodes: g.NumNodes,
+		TotalEdges: len(g.Edges),
+	}
+
+	words := make([]uint64, (g.NumNodes+63)/64)
+	for _, v := range dirty {
+		words[v>>6] |= 1 << (uint(v) & 63)
+	}
+	isDirty := func(v int) bool { return words[v>>6]>>(uint(v)&63)&1 == 1 }
+
+	// Gather each dirty node's incident edges in ascending edge order —
+	// the accumulation order the full pass uses per node, so float sums
+	// replay bit-identically. Exact two-pass fill: count, prefix, fill.
+	cnt := make([]int32, g.NumNodes+1)
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if isDirty(e.A) {
+			cnt[e.A+1]++
+		}
+		if isDirty(e.B) {
+			cnt[e.B+1]++
+		}
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		cnt[v+1] += cnt[v]
+	}
+	slab := make([]int32, cnt[g.NumNodes])
+	cur := make([]int32, g.NumNodes)
+	copy(cur, cnt[:g.NumNodes])
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if isDirty(e.A) {
+			slab[cur[e.A]] = int32(i)
+			cur[e.A]++
+		}
+		if isDirty(e.B) {
+			slab[cur[e.B]] = int32(i)
+			cur[e.B]++
+		}
+	}
+	st.VisitedEdges = len(slab)
+
+	flags := memo.Flags
+	for _, v := range dirty {
+		row := slab[cnt[v]:cnt[v+1]]
+		// Clear v's own verdicts; the other endpoint's bits stand.
+		for _, ei := range row {
+			if g.Edges[ei].A == int(v) {
+				flags[ei] &^= KeptByA
+			} else {
+				flags[ei] &^= KeptByB
+			}
+		}
+		switch memo.Alg {
+		case WNP:
+			sum := 0.0
+			for _, ei := range row {
+				sum += g.Edges[ei].Weight
+			}
+			if len(row) == 0 {
+				continue
+			}
+			mean := sum / float64(len(row))
+			for _, ei := range row {
+				if g.Edges[ei].Weight >= mean {
+					if g.Edges[ei].A == int(v) {
+						flags[ei] |= KeptByA
+					} else {
+						flags[ei] |= KeptByB
+					}
+				}
+			}
+		case CNP:
+			top := container.NewBoundedTopK(memo.K, func(a, b int32) bool {
+				ea, eb := &g.Edges[a], &g.Edges[b]
+				if ea.Weight != eb.Weight {
+					return ea.Weight < eb.Weight
+				}
+				return a > b // ties: higher edge index loses
+			})
+			for _, ei := range row {
+				top.Offer(ei)
+			}
+			for _, ei := range top.Drain() {
+				if g.Edges[ei].A == int(v) {
+					flags[ei] |= KeptByA
+				} else {
+					flags[ei] |= KeptByB
+				}
+			}
+		default:
+			panic("metablocking: RepruneLocal on a non-node-centric memo")
+		}
+	}
+
+	kept := g.collect(flags, memo.Reciprocal)
+	sortEdges(kept)
+	return kept, st
+}

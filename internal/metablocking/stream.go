@@ -1,0 +1,114 @@
+package metablocking
+
+import (
+	"sort"
+
+	"repro/internal/blocking"
+	"repro/internal/container"
+)
+
+// statSegBits sizes the segments of the edge-stat pool: segments are
+// fixed arrays, so the accumulator grows without ever copying — the
+// append-doubling churn of a flat record slice used to be the single
+// largest allocation term of graph construction.
+const statSegBits = 14
+
+// statPool is a segmented arena of edgeStat records addressed by dense
+// int32 handles. Records never move, so handles stored in the dedup
+// map stay valid as the pool grows.
+type statPool struct {
+	segs [][]edgeStat
+	n    int32
+}
+
+func (p *statPool) alloc(a, b int32) int32 {
+	i := p.n
+	s := int(i) >> statSegBits
+	if s == len(p.segs) {
+		p.segs = append(p.segs, make([]edgeStat, 1<<statSegBits))
+	}
+	p.segs[s][i&(1<<statSegBits-1)] = edgeStat{a: a, b: b}
+	p.n++
+	return i
+}
+
+func (p *statPool) at(i int32) *edgeStat {
+	return &p.segs[i>>statSegBits][i&(1<<statSegBits-1)]
+}
+
+// BuildStream constructs the blocking graph from a block stream — the
+// iterator-composed stage boundary — folding each block's evidence as
+// it is yielded, in stream order (the canonical block order every
+// parallel builder replays). Nothing upstream needs to be
+// materialized; the graph's own output arrays are allocated at their
+// exact final size. Build(col, scheme) ≡ BuildStream(col.Stream(),
+// scheme).
+func BuildStream(s blocking.Stream, scheme Scheme) *Graph {
+	g := &Graph{NumNodes: s.Source.Len(), nLive: s.Source.NumAlive()}
+	g.blocks = make([]int32, g.NumNodes)
+	var idx container.PairTable
+	var pool statPool
+	nBlock := 0
+	s.Blocks(func(b *blocking.Block) bool {
+		nBlock++
+		cmp := b.Comparisons(s.Source, s.CleanClean)
+		for _, id := range b.Entities {
+			g.blocks[id]++
+		}
+		if cmp == 0 {
+			return true
+		}
+		inv := 1 / float64(cmp)
+		ents := b.Entities
+		for x := 0; x < len(ents); x++ {
+			for y := x + 1; y < len(ents); y++ {
+				a, bb := ents[x], ents[y]
+				if s.CleanClean && !s.Source.CrossKB(a, bb) {
+					continue
+				}
+				if a > bb {
+					a, bb = bb, a
+				}
+				key := edgeKey(int32(a), int32(bb))
+				j, ok := idx.Get(key)
+				if !ok {
+					j = pool.alloc(int32(a), int32(bb))
+					idx.Put(key, j)
+				}
+				r := pool.at(j)
+				r.common++
+				r.arcs += inv
+			}
+		}
+		return true
+	})
+	g.nBlock = nBlock
+
+	// Canonical (A, B) order via an index permutation — the records
+	// themselves never move or copy.
+	order := make([]int32, pool.n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(x, y int) bool {
+		rx, ry := pool.at(order[x]), pool.at(order[y])
+		if rx.a != ry.a {
+			return rx.a < ry.a
+		}
+		return rx.b < ry.b
+	})
+	g.Edges = make([]Edge, len(order))
+	g.common = make([]int, len(order))
+	g.arcs = make([]float64, len(order))
+	g.degree = make([]int32, g.NumNodes)
+	for i, o := range order {
+		r := pool.at(o)
+		g.Edges[i] = Edge{A: int(r.a), B: int(r.b)}
+		g.common[i] = int(r.common)
+		g.arcs[i] = r.arcs
+		g.degree[r.a]++
+		g.degree[r.b]++
+	}
+	g.reweigh(scheme)
+	return g
+}

@@ -69,6 +69,34 @@ type record struct {
 	arcs   float64
 }
 
+// recSegBits sizes the segments of the per-partition record pools:
+// fixed arrays that grow without copying, so accumulating a partition's
+// records never pays append-doubling churn (the largest allocation term
+// of the parallel build before pools).
+const recSegBits = 12
+
+// recPool is a segmented arena of records addressed by dense int32
+// handles; records never move as the pool grows.
+type recPool struct {
+	segs [][]record
+	n    int32
+}
+
+func (p *recPool) alloc(a, b int32) int32 {
+	i := p.n
+	s := int(i) >> recSegBits
+	if s == len(p.segs) {
+		p.segs = append(p.segs, make([]record, 1<<recSegBits))
+	}
+	p.segs[s][i&(1<<recSegBits-1)] = record{a: a, b: b}
+	p.n++
+	return i
+}
+
+func (p *recPool) at(i int32) *record {
+	return &p.segs[i>>recSegBits][i&(1<<recSegBits-1)]
+}
+
 // buildChunkComparisons bounds how many pair occurrences a single
 // map→merge round may buffer. Build streams the block range through
 // rounds of at most this many comparisons, folding each round into
@@ -136,11 +164,8 @@ func Build(col *blocking.Collection, scheme metablocking.Scheme, workers int) *m
 
 	// Persistent per-partition accumulators, and per-(shard, partition)
 	// occurrence buffers reused across rounds.
-	accIdx := make([]map[uint64]int32, nParts)
-	for p := range accIdx {
-		accIdx[p] = make(map[uint64]int32)
-	}
-	accRecs := make([][]record, nParts)
+	accIdx := make([]container.PairTable, nParts)
+	pools := make([]recPool, nParts)
 	emits := make([][][]occurrence, workers)
 	for s := range emits {
 		emits[s] = make([][]occurrence, nParts)
@@ -190,52 +215,60 @@ func Build(col *blocking.Collection, scheme metablocking.Scheme, workers int) *m
 		// order.
 		nShards := len(shards)
 		forEachPart(nParts, workers, func(p int) {
-			idx := accIdx[p]
-			recs := accRecs[p]
+			idx := &accIdx[p]
+			pool := &pools[p]
 			for s := 0; s < nShards; s++ {
 				for _, o := range emits[s][p] {
 					key := uint64(uint32(o.a))<<32 | uint64(uint32(o.b))
-					i, ok := idx[key]
+					i, ok := idx.Get(key)
 					if !ok {
-						i = int32(len(recs))
-						idx[key] = i
-						recs = append(recs, record{a: o.a, b: o.b})
+						i = pool.alloc(o.a, o.b)
+						idx.Put(key, i)
 					}
-					recs[i].common++
-					recs[i].arcs += o.inv
+					r := pool.at(i)
+					r.common++
+					r.arcs += o.inv
 				}
 			}
-			accRecs[p] = recs
 		})
 	}
 
-	// Records accumulated in first-occurrence order; sort each
-	// partition into canonical (A, B) order once, after the last round.
-	partRecs := accRecs
+	// Records accumulated in first-occurrence order; sort each partition
+	// into canonical (A, B) order once, after the last round — an index
+	// permutation per partition, the pooled records never move.
+	orders := make([][]int32, nParts)
 	forEachPart(nParts, workers, func(p int) {
-		recs := partRecs[p]
-		sort.Slice(recs, func(x, y int) bool {
-			if recs[x].a != recs[y].a {
-				return recs[x].a < recs[y].a
+		pool := &pools[p]
+		order := make([]int32, pool.n)
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.Slice(order, func(x, y int) bool {
+			rx, ry := pool.at(order[x]), pool.at(order[y])
+			if rx.a != ry.a {
+				return rx.a < ry.a
 			}
-			return recs[x].b < recs[y].b
+			return rx.b < ry.b
 		})
+		orders[p] = order
 	})
 
 	// Assemble: the partition function is monotone in A, so sorted
 	// partitions concatenate directly into canonical (A, B) order.
 	total := 0
 	offsets := make([]int, nParts)
-	for p, recs := range partRecs {
+	for p := range pools {
 		offsets[p] = total
-		total += len(recs)
+		total += int(pools[p].n)
 	}
 	edges := make([]metablocking.Edge, total)
 	common := make([]int, total)
 	arcs := make([]float64, total)
 	forEachPart(nParts, workers, func(p int) {
 		o := offsets[p]
-		for i, r := range partRecs[p] {
+		pool := &pools[p]
+		for i, h := range orders[p] {
+			r := pool.at(h)
 			edges[o+i] = metablocking.Edge{A: int(r.a), B: int(r.b)}
 			common[o+i] = int(r.common)
 			arcs[o+i] = r.arcs
@@ -255,9 +288,7 @@ func Build(col *blocking.Collection, scheme metablocking.Scheme, workers int) *m
 // buys back.
 func Update(g *metablocking.Graph, oldCol, newCol *blocking.Collection, scheme metablocking.Scheme, workers int) metablocking.UpdateStats {
 	stats := g.UpdateStructure(oldCol, newCol, scheme)
-	if !stats.Rebuilt {
-		Reweigh(g, scheme, workers)
-	}
+	g.FinishUpdate(&stats, func() { Reweigh(g, scheme, workers) })
 	return stats
 }
 
@@ -315,24 +346,59 @@ func pruneWEP(g *metablocking.Graph, workers int) []metablocking.Edge {
 		sum += e.Weight
 	}
 	mean := sum / float64(len(g.Edges))
+	return collectShards(g, workers, func(i int) bool {
+		return g.Edges[i].Weight >= mean
+	})
+}
+
+// collectShards gathers the edges satisfying keep into one exact-size
+// output slice: a sharded count pass sizes per-shard output ranges, a
+// sharded fill pass writes them — no per-shard buffers, no concat copy.
+// Shard ranges are contiguous and ascending, so the output order is the
+// sequential scan order.
+func collectShards(g *metablocking.Graph, workers int, keep func(i int) bool) []metablocking.Edge {
 	shards := mapreduce.Ranges(len(g.Edges), workers)
-	parts := make([][]metablocking.Edge, len(shards))
+	counts := make([]int, len(shards))
 	var wg sync.WaitGroup
 	for s, r := range shards {
 		wg.Add(1)
 		go func(s int, r mapreduce.Range) {
 			defer wg.Done()
-			var kept []metablocking.Edge
-			for _, e := range g.Edges[r.Lo:r.Hi] {
-				if e.Weight >= mean {
-					kept = append(kept, e)
+			n := 0
+			for i := r.Lo; i < r.Hi; i++ {
+				if keep(i) {
+					n++
 				}
 			}
-			parts[s] = kept
+			counts[s] = n
 		}(s, r)
 	}
 	wg.Wait()
-	return concat(parts)
+	total := 0
+	for s, n := range counts {
+		counts[s] = total
+		total += n
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]metablocking.Edge, total)
+	var fwg sync.WaitGroup
+	for s, r := range shards {
+		fwg.Add(1)
+		go func(s int, r mapreduce.Range) {
+			defer fwg.Done()
+			o := counts[s]
+			for i := r.Lo; i < r.Hi; i++ {
+				if keep(i) {
+					out[o] = g.Edges[i]
+					o++
+				}
+			}
+		}(s, r)
+	}
+	fwg.Wait()
+	return out
 }
 
 // cepLess ranks edges for cardinality edge pruning: lighter first,
@@ -385,30 +451,35 @@ func pruneCEP(g *metablocking.Graph, opts metablocking.PruneOptions, workers int
 	return top.Drain()
 }
 
-// pruneNode runs WNP or CNP: a deterministic parallel CSR adjacency,
-// then per-node retention sharded over node ranges with atomic
-// retained-by counters, then a sharded collect.
+// pruneNode runs WNP or CNP: the halved incidence structure, per-node
+// retention sharded over node ranges with atomic per-endpoint flag
+// bits, then a sharded collect.
 func pruneNode(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions, workers int) []metablocking.Edge {
-	start, csr := adjacency(g, workers)
+	kept, _ := pruneNodeFlags(g, alg, opts, workers, false)
+	return kept
+}
+
+// pruneNodeFlags is pruneNode's engine; with wantFlags it also returns
+// the per-edge retention bits, narrowed to the uint8 encoding
+// metablocking.PruneMemo stores (the atomic flag words only ever hold
+// KeptByA|KeptByB).
+func pruneNodeFlags(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions, workers int, wantFlags bool) ([]metablocking.Edge, []uint8) {
+	inc := incidence(g, workers)
 	kPerNode := 0
 	if alg == metablocking.CNP {
-		kPerNode = opts.KPerNode
-		if live := g.LiveNodes(); kPerNode <= 0 && live > 0 {
-			kPerNode = (opts.Assignments + live - 1) / live
-		}
-		if kPerNode <= 0 {
-			kPerNode = 1
-		}
+		kPerNode = g.ResolveK(opts)
 	}
-	retained := make([]int32, len(g.Edges))
+	// Per-edge retention flags. An edge's two endpoints may land in
+	// different node shards, each OR-ing its own bit into the same word,
+	// hence the atomic Or (a plain |= on shared bytes would race).
+	flags := make([]uint32, len(g.Edges))
 	var wg sync.WaitGroup
 	for _, r := range mapreduce.Ranges(g.NumNodes, workers) {
 		wg.Add(1)
 		go func(r mapreduce.Range) {
 			defer wg.Done()
 			for v := r.Lo; v < r.Hi; v++ {
-				incident := csr[start[v]:start[v+1]]
-				if len(incident) == 0 {
+				if inc.deg(v) == 0 {
 					continue
 				}
 				switch alg {
@@ -416,15 +487,17 @@ func pruneNode(g *metablocking.Graph, alg metablocking.Pruning, opts metablockin
 					// Summed in index-ascending order — the sequential
 					// neighborhood order — for a bit-identical mean.
 					sum := 0.0
-					for _, ei := range incident {
+					n := 0
+					inc.forEach(v, func(ei int32, isA bool) {
 						sum += g.Edges[ei].Weight
-					}
-					mean := sum / float64(len(incident))
-					for _, ei := range incident {
+						n++
+					})
+					mean := sum / float64(n)
+					inc.forEach(v, func(ei int32, isA bool) {
 						if g.Edges[ei].Weight >= mean {
-							atomic.AddInt32(&retained[ei], 1)
+							atomic.OrUint32(&flags[ei], endpointBit(isA))
 						}
-					}
+					})
 				case metablocking.CNP:
 					top := container.NewBoundedTopK(kPerNode, func(a, b int32) bool {
 						ea, eb := g.Edges[a], g.Edges[b]
@@ -433,11 +506,11 @@ func pruneNode(g *metablocking.Graph, alg metablocking.Pruning, opts metablockin
 						}
 						return a > b
 					})
-					for _, ei := range incident {
+					inc.forEach(v, func(ei int32, isA bool) {
 						top.Offer(ei)
-					}
+					})
 					for _, ei := range top.Drain() {
-						atomic.AddInt32(&retained[ei], 1)
+						atomic.OrUint32(&flags[ei], endpointBit(g.Edges[ei].A == v))
 					}
 				}
 			}
@@ -445,36 +518,101 @@ func pruneNode(g *metablocking.Graph, alg metablocking.Pruning, opts metablockin
 	}
 	wg.Wait()
 
-	need := int32(1)
-	if opts.Reciprocal {
-		need = 2
+	both := uint32(metablocking.KeptByA | metablocking.KeptByB)
+	kept := collectShards(g, workers, func(i int) bool {
+		if opts.Reciprocal {
+			return flags[i] == both
+		}
+		return flags[i] != 0
+	})
+	if !wantFlags {
+		return kept, nil
 	}
-	shards := mapreduce.Ranges(len(g.Edges), workers)
-	parts := make([][]metablocking.Edge, len(shards))
-	var cwg sync.WaitGroup
-	for s, r := range shards {
-		cwg.Add(1)
-		go func(s int, r mapreduce.Range) {
-			defer cwg.Done()
-			var kept []metablocking.Edge
-			for i := r.Lo; i < r.Hi; i++ {
-				if retained[i] >= need {
-					kept = append(kept, g.Edges[i])
-				}
-			}
-			parts[s] = kept
-		}(s, r)
+	f8 := make([]uint8, len(flags))
+	for i, f := range flags {
+		f8[i] = uint8(f)
 	}
-	cwg.Wait()
-	return concat(parts)
+	return kept, f8
 }
 
-// adjacency builds the CSR incidence structure (start, csr) where
-// csr[start[v]:start[v+1]] lists node v's incident edge indices in
-// ascending order. Construction is sharded over contiguous edge
-// ranges; per-node, per-shard cursor ranges are disjoint, so the fill
-// is lock-free and the layout is identical for any worker count.
-func adjacency(g *metablocking.Graph, workers int) (start, csr []int32) {
+// PruneMemoized is Prune plus a reusable metablocking.PruneMemo for the
+// node-centric algorithms — the parallel counterpart of
+// Graph.PruneMemoized, memo-compatible with it bit for bit (the flag
+// encoding is shared). WEP and CEP return a nil memo.
+func PruneMemoized(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions, workers int) ([]metablocking.Edge, *metablocking.PruneMemo) {
+	workers = Workers(workers)
+	if workers == 1 || len(g.Edges) == 0 {
+		return g.PruneMemoized(alg, opts)
+	}
+	switch alg {
+	case metablocking.WNP, metablocking.CNP:
+		kept, flags := pruneNodeFlags(g, alg, opts, workers, true)
+		sortEdgesParallel(kept, workers)
+		memo := &metablocking.PruneMemo{Alg: alg, Reciprocal: opts.Reciprocal, Flags: flags}
+		if alg == metablocking.CNP {
+			memo.K = g.ResolveK(opts)
+		}
+		return kept, memo
+	}
+	return Prune(g, alg, opts, workers), nil
+}
+
+func endpointBit(isA bool) uint32 {
+	if isA {
+		return uint32(metablocking.KeptByA)
+	}
+	return uint32(metablocking.KeptByB)
+}
+
+// incidenceIdx is the halved per-node incidence structure. Edges are
+// sorted by (A, B), so each node's A-side incident edges are one
+// contiguous run of edge indices — aStart[v]:aStart[v+1] IS the index
+// list, no storage needed. Only the B side keeps an explicit CSR
+// (bStart, bIdx), E entries instead of the 2E a full adjacency holds:
+// the edge list stops being stored twice.
+type incidenceIdx struct {
+	aStart []int32
+	bStart []int32
+	bIdx   []int32
+}
+
+func (in *incidenceIdx) deg(v int) int {
+	return int(in.aStart[v+1]-in.aStart[v]) + int(in.bStart[v+1]-in.bStart[v])
+}
+
+// forEach visits v's incident edge indices in ascending order — the
+// sequential neighborhood order — merging the implicit A-run with the
+// B list (both ascending, never overlapping: an edge's endpoints are
+// distinct).
+func (in *incidenceIdx) forEach(v int, fn func(ei int32, isA bool)) {
+	ai, aEnd := in.aStart[v], in.aStart[v+1]
+	bs := in.bIdx[in.bStart[v]:in.bStart[v+1]]
+	j := 0
+	for ai < aEnd || j < len(bs) {
+		if ai < aEnd && (j == len(bs) || ai < bs[j]) {
+			fn(ai, true)
+			ai++
+		} else {
+			fn(bs[j], false)
+			j++
+		}
+	}
+}
+
+// incidence builds the halved incidence structure. The B-side fill is
+// sharded over contiguous edge ranges with disjoint per-node, per-shard
+// cursor ranges, so it is lock-free and the layout is identical for any
+// worker count; the A side is a prefix sum over the already-sorted edge
+// list.
+func incidence(g *metablocking.Graph, workers int) *incidenceIdx {
+	in := &incidenceIdx{aStart: make([]int32, g.NumNodes+1)}
+	for i := range g.Edges {
+		in.aStart[g.Edges[i].A+1]++
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		in.aStart[v+1] += in.aStart[v]
+	}
+
 	shards := mapreduce.Ranges(len(g.Edges), workers)
 	counts := make([][]int32, len(shards))
 	var wg sync.WaitGroup
@@ -484,7 +622,6 @@ func adjacency(g *metablocking.Graph, workers int) (start, csr []int32) {
 			defer wg.Done()
 			c := make([]int32, g.NumNodes)
 			for _, e := range g.Edges[r.Lo:r.Hi] {
-				c[e.A]++
 				c[e.B]++
 			}
 			counts[s] = c
@@ -492,21 +629,19 @@ func adjacency(g *metablocking.Graph, workers int) (start, csr []int32) {
 	}
 	wg.Wait()
 
-	// Prefix pass: start[v] is v's slot range; each per-shard count
-	// cell is repurposed as that shard's write cursor within it.
-	start = make([]int32, g.NumNodes+1)
+	in.bStart = make([]int32, g.NumNodes+1)
 	pos := int32(0)
 	for v := 0; v < g.NumNodes; v++ {
-		start[v] = pos
+		in.bStart[v] = pos
 		for s := range counts {
 			c := counts[s][v]
 			counts[s][v] = pos
 			pos += c
 		}
 	}
-	start[g.NumNodes] = pos
+	in.bStart[g.NumNodes] = pos
 
-	csr = make([]int32, pos)
+	in.bIdx = make([]int32, pos)
 	var fwg sync.WaitGroup
 	for s, r := range shards {
 		fwg.Add(1)
@@ -515,15 +650,13 @@ func adjacency(g *metablocking.Graph, workers int) (start, csr []int32) {
 			cur := counts[s]
 			for i := r.Lo; i < r.Hi; i++ {
 				e := &g.Edges[i]
-				csr[cur[e.A]] = int32(i)
-				cur[e.A]++
-				csr[cur[e.B]] = int32(i)
+				in.bIdx[cur[e.B]] = int32(i)
 				cur[e.B]++
 			}
 		}(s, r)
 	}
 	fwg.Wait()
-	return start, csr
+	return in
 }
 
 // edgeBefore is the retained-edge output order: descending weight,

@@ -28,6 +28,11 @@ type State struct {
 	// LastUpdate reports the most recent ingest's incremental graph
 	// work — the evidence it stayed proportional to the delta.
 	LastUpdate metablocking.UpdateStats
+	// LastReprune reports the most recent pass's re-pruning work:
+	// locality-aware (dirty neighborhoods only) or the full-pass
+	// fallback — the evidence re-pruning stayed proportional to the
+	// touched neighborhoods.
+	LastReprune metablocking.RepruneStats
 
 	src *kb.Collection
 	opt Options
@@ -52,6 +57,12 @@ type State struct {
 	pendingEvicted []int
 
 	cleaned *blocking.Collection // diff baseline for the graph update
+
+	// memo holds the per-edge retention verdicts of the last prune when
+	// the engine supports memoized pruning and the algorithm is
+	// node-centric; nil otherwise, and after any pass that could not
+	// reseed it — refront then re-prunes in full.
+	memo *metablocking.PruneMemo
 }
 
 // InSync reports that the state already covers every description,
@@ -77,13 +88,24 @@ func (st *State) PendingIngest() bool {
 // Covered returns how many source descriptions the state has folded in.
 func (st *State) Covered() int { return st.n }
 
+// IndexFootprint reports the streaming inverted index's size: distinct
+// tokens and total posting entries. Both are 0 before the first real
+// streaming pass — the index is built lazily, so sessions that never
+// stream pay nothing and report nothing.
+func (st *State) IndexFootprint() (tokens, postings int) {
+	for _, p := range st.postings {
+		postings += len(p)
+	}
+	return len(st.postings), postings
+}
+
 // Start runs a full front-end pass through the engine and returns the
 // resumable state, with Front holding the pass's outputs. Descriptions
 // added to src afterwards are folded in by Engine.Ingest. The
 // streaming index is built lazily on the first real ingest, so
 // sessions that never stream pay nothing for it.
 func Start(e Engine, src *kb.Collection, opt Options) (*State, error) {
-	fe, err := Run(e, src, opt)
+	fe, memo, err := runFront(e, src, opt, true)
 	if err != nil {
 		return nil, err
 	}
@@ -93,6 +115,7 @@ func Start(e Engine, src *kb.Collection, opt Options) (*State, error) {
 		opt:     opt,
 		n:       src.Len(),
 		cleaned: fe.Blocks,
+		memo:    memo,
 	}
 	src.TakeMerged()  // the full pass covered every description
 	src.TakeEvicted() // and skipped every tombstone
@@ -128,50 +151,62 @@ func (st *State) buildIndex() {
 type updateFn func(g *metablocking.Graph, oldCol, newCol *blocking.Collection) metablocking.UpdateStats
 
 // refront is the shared tail of the incremental passes (ingest and
-// evict): re-assemble the raw blocks from the overlaid inverted index
-// (identical to a from-scratch token blocking over the live source, in
-// linear time), run engine-dispatched cleaning (global but linear —
-// the purge cap and filter ranks shift with every delta), drive the
-// delta graph update, and re-prune. The update mutates the graph in
-// place, so the diff baseline advances with it in the same step — if
-// pruning fails, a retry diffs from the collection the graph actually
-// reflects.
+// evict): stream the raw blocks straight off the overlaid inverted
+// index (identical to a from-scratch token blocking over the live
+// source, in linear time), compose the cleaning transforms over the
+// stream (global but linear — the purge cap and filter ranks shift
+// with every delta — yet no raw or purged collection is ever
+// materialized), drive the delta graph update, and re-prune. The
+// update mutates the graph in place, so the diff baseline advances
+// with it in the same step — if pruning fails, a retry diffs from the
+// collection the graph actually reflects.
 func refront(e Engine, st *State, kind string, keys []string,
 	look func(tok string) ([]int, bool), update updateFn) (*FrontEnd, error) {
-	raw := &blocking.Collection{Source: st.src, CleanClean: st.src.NumLiveKBs() > 1}
-	for _, tok := range keys {
-		ids, _ := look(tok)
-		if len(ids) < 2 {
-			continue
-		}
-		b := blocking.Block{Key: tok, Entities: ids}
-		if b.Comparisons(st.src, raw.CleanClean) == 0 {
-			continue
-		}
-		raw.Blocks = append(raw.Blocks, b)
-	}
-
-	col := raw
-	var err error
+	s := blocking.IndexStream(st.src, keys, look)
 	if st.opt.PurgeMaxBlockSize >= 0 {
-		if col, err = e.Purge(col, st.opt.PurgeMaxBlockSize); err != nil {
-			return nil, fmt.Errorf("pipeline(%s): %s purge: %w", e.Name(), kind, err)
-		}
+		s = s.Purge(st.opt.PurgeMaxBlockSize)
 	}
 	if st.opt.FilterRatio > 0 {
-		if col, err = e.Filter(col, st.opt.FilterRatio); err != nil {
-			return nil, fmt.Errorf("pipeline(%s): %s filter: %w", e.Name(), kind, err)
-		}
+		s = s.Filter(st.opt.FilterRatio)
 	}
+	col := s.Collect()
 
 	g := st.Front.Graph
 	st.LastUpdate = update(g, st.cleaned, col)
 	st.cleaned = col
-	edges, err := e.Prune(g, st.opt.Pruning, metablocking.PruneOptions{
-		Reciprocal:  st.opt.Reciprocal,
-		Assignments: col.Assignments(),
-	})
+	popts := st.opt.pruneOptions(col.Assignments())
+
+	// Locality-aware re-pruning: when the last pass left a memo whose
+	// verdicts are still comparable — same algorithm and retention rule,
+	// the graph updated in place rather than rebuilt, and (for CNP) an
+	// effective per-node budget the delta did not shift — only the dirty
+	// neighborhoods re-derive their verdicts. Bit-identical to the full
+	// prune by construction (the differential suite asserts it), so the
+	// fallback below is a performance path, never a correctness one.
+	if st.memo != nil && !st.LastUpdate.Rebuilt &&
+		st.memo.Alg == st.opt.Pruning && st.memo.Reciprocal == st.opt.Reciprocal &&
+		(st.memo.Alg != metablocking.CNP || g.ResolveK(popts) == st.memo.K) {
+		memo := st.memo.Remap(st.LastUpdate.OldToNew, len(g.Edges))
+		edges, rst := g.RepruneLocal(memo, st.LastUpdate.DirtyNodes)
+		st.memo = memo
+		st.LastReprune = rst
+		return &FrontEnd{Blocks: col, Graph: g, Edges: edges}, nil
+	}
+
+	// Full re-prune — reseeding the memo when the engine can, so one
+	// invalidated pass (a rebuild, a shifted CNP budget) does not
+	// permanently demote the session to full re-prunes.
+	st.memo = nil
+	st.LastReprune = metablocking.RepruneStats{Full: true}
+	var edges []metablocking.Edge
+	var err error
+	if mp, ok := e.(memoPruner); ok {
+		edges, st.memo, err = mp.PruneMemoized(g, st.opt.Pruning, popts)
+	} else {
+		edges, err = e.Prune(g, st.opt.Pruning, popts)
+	}
 	if err != nil {
+		st.memo = nil
 		return nil, fmt.Errorf("pipeline(%s): %s pruning: %w", e.Name(), kind, err)
 	}
 	return &FrontEnd{Blocks: col, Graph: g, Edges: edges}, nil

@@ -26,6 +26,18 @@ func (MapReduce) Name() string { return "mapreduce" }
 
 func (e MapReduce) cfg() mapreduce.Config { return mapreduce.Config{Workers: e.Workers} }
 
+// Stream implements Engine: the token-blocking dataflow job runs to
+// completion — a shuffle barrier has no lazy form — and its output
+// collection is adapted to the stream boundary, so the cleaning
+// transforms downstream still compose without further materialization.
+func (e MapReduce) Stream(src *kb.Collection, opts tokenize.Options) (blocking.Stream, error) {
+	col, err := parblock.TokenBlocking(src, opts, e.cfg())
+	if err != nil {
+		return blocking.Stream{}, err
+	}
+	return col.Stream(), nil
+}
+
 // TokenBlocking implements Engine.
 func (e MapReduce) TokenBlocking(src *kb.Collection, opts tokenize.Options) (*blocking.Collection, error) {
 	return parblock.TokenBlocking(src, opts, e.cfg())

@@ -45,8 +45,16 @@ import (
 type Engine interface {
 	// Name identifies the engine in logs, benchmarks, and test labels.
 	Name() string
+	// Stream produces the engine's token-blocking output as a
+	// replayable block stream — the iterator-composed stage boundary
+	// Run feeds to the cleaning transforms, so intermediate stage
+	// outputs are never materialized. Must yield exactly
+	// TokenBlocking's blocks in the same (ascending key) order.
+	Stream(src *kb.Collection, opts tokenize.Options) (blocking.Stream, error)
 	// TokenBlocking tokenizes every description and builds one block
-	// per token (blocks inducing no comparisons are dropped).
+	// per token (blocks inducing no comparisons are dropped). The
+	// materialized counterpart of Stream, kept as the differential
+	// reference the stream path is tested against.
 	TokenBlocking(src *kb.Collection, opts tokenize.Options) (*blocking.Collection, error)
 	// Purge removes oversized blocks (maxSize 0 = automatic cap).
 	Purge(col *blocking.Collection, maxSize int) (*blocking.Collection, error)
@@ -112,6 +120,23 @@ type Options struct {
 	// Reciprocal requires both endpoints to retain an edge in
 	// node-centric pruning.
 	Reciprocal bool
+	// KPerNode pins CNP's per-node budget (0 = the paper's default,
+	// ⌈assignments/|V|⌉). The default shifts as a streaming session
+	// ingests — assignments and live nodes both move — which invalidates
+	// every node's memoized top-k and forces locality-aware re-pruning
+	// into its full-pass fallback; pinning the budget keeps the memo
+	// live across deltas.
+	KPerNode int
+}
+
+// pruneOptions assembles the engine-facing pruning options of a pass
+// over a cleaned collection with the given Σ|b|.
+func (opt Options) pruneOptions(assignments int) metablocking.PruneOptions {
+	return metablocking.PruneOptions{
+		KPerNode:    opt.KPerNode,
+		Reciprocal:  opt.Reciprocal,
+		Assignments: assignments,
+	}
 }
 
 // FrontEnd is the output of a full front-end pass: the cleaned block
@@ -126,31 +151,58 @@ type FrontEnd struct {
 // Run drives blocking → purging → filtering → graph build → pruning
 // through one engine. The result is identical for every engine and
 // worker count.
+//
+// The stage boundaries are iterator-composed: the engine's block
+// stream flows through the purge and filter transforms, and only the
+// final cleaned collection is materialized (the incremental state and
+// the matcher need it). The raw and purged intermediates — the bulk of
+// front-end peak memory under the old slice-per-stage handoff — never
+// exist. Cleaning transforms are bit-identical to the engines'
+// materialized stage methods, which the differential suite asserts.
 func Run(e Engine, src *kb.Collection, opt Options) (*FrontEnd, error) {
-	col, err := e.TokenBlocking(src, opt.Tokenize)
+	fe, _, err := runFront(e, src, opt, false)
+	return fe, err
+}
+
+// memoPruner is the optional engine capability behind locality-aware
+// re-pruning: a prune that also returns the per-edge retention memo.
+// The sequential and shared engines implement it; the MapReduce engine
+// does not — the paper's cluster realization never defined an
+// incremental dataflow, so its sessions always re-prune in full.
+type memoPruner interface {
+	PruneMemoized(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions) ([]metablocking.Edge, *metablocking.PruneMemo, error)
+}
+
+// runFront is Run plus the pruning memo: when wantMemo is set and the
+// engine supports memoized pruning, the returned memo seeds a
+// session's locality-aware re-pruning (nil otherwise — full re-prunes
+// remain correct, just not delta-proportional).
+func runFront(e Engine, src *kb.Collection, opt Options, wantMemo bool) (*FrontEnd, *metablocking.PruneMemo, error) {
+	s, err := e.Stream(src, opt.Tokenize)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline(%s): blocking: %w", e.Name(), err)
+		return nil, nil, fmt.Errorf("pipeline(%s): blocking: %w", e.Name(), err)
 	}
 	if opt.PurgeMaxBlockSize >= 0 {
-		if col, err = e.Purge(col, opt.PurgeMaxBlockSize); err != nil {
-			return nil, fmt.Errorf("pipeline(%s): purge: %w", e.Name(), err)
-		}
+		s = s.Purge(opt.PurgeMaxBlockSize)
 	}
 	if opt.FilterRatio > 0 {
-		if col, err = e.Filter(col, opt.FilterRatio); err != nil {
-			return nil, fmt.Errorf("pipeline(%s): filter: %w", e.Name(), err)
-		}
+		s = s.Filter(opt.FilterRatio)
 	}
+	col := s.Collect()
 	g, err := e.Build(col, opt.Scheme)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline(%s): graph build: %w", e.Name(), err)
+		return nil, nil, fmt.Errorf("pipeline(%s): graph build: %w", e.Name(), err)
 	}
-	edges, err := e.Prune(g, opt.Pruning, metablocking.PruneOptions{
-		Reciprocal:  opt.Reciprocal,
-		Assignments: col.Assignments(),
-	})
+	popts := opt.pruneOptions(col.Assignments())
+	var edges []metablocking.Edge
+	var memo *metablocking.PruneMemo
+	if mp, ok := e.(memoPruner); ok && wantMemo {
+		edges, memo, err = mp.PruneMemoized(g, opt.Pruning, popts)
+	} else {
+		edges, err = e.Prune(g, opt.Pruning, popts)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("pipeline(%s): pruning: %w", e.Name(), err)
+		return nil, nil, fmt.Errorf("pipeline(%s): pruning: %w", e.Name(), err)
 	}
-	return &FrontEnd{Blocks: col, Graph: g, Edges: edges}, nil
+	return &FrontEnd{Blocks: col, Graph: g, Edges: edges}, memo, nil
 }

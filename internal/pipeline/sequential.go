@@ -16,6 +16,11 @@ type Sequential struct{}
 // Name implements Engine.
 func (Sequential) Name() string { return "sequential" }
 
+// Stream implements Engine.
+func (Sequential) Stream(src *kb.Collection, opts tokenize.Options) (blocking.Stream, error) {
+	return blocking.TokenBlockingStream(src, opts), nil
+}
+
 // TokenBlocking implements Engine.
 func (Sequential) TokenBlocking(src *kb.Collection, opts tokenize.Options) (*blocking.Collection, error) {
 	return blocking.TokenBlocking(src, opts), nil
@@ -39,6 +44,13 @@ func (Sequential) Build(col *blocking.Collection, scheme metablocking.Scheme) (*
 // Prune implements Engine.
 func (Sequential) Prune(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions) ([]metablocking.Edge, error) {
 	return g.Prune(alg, opts), nil
+}
+
+// PruneMemoized implements the optional memoPruner capability: Prune
+// plus the retention memo that seeds locality-aware re-pruning.
+func (Sequential) PruneMemoized(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions) ([]metablocking.Edge, *metablocking.PruneMemo, error) {
+	kept, memo := g.PruneMemoized(alg, opts)
+	return kept, memo, nil
 }
 
 // Ingest implements Engine: the single-threaded reference realization

@@ -36,17 +36,37 @@ func (Shared) Name() string { return "shared" }
 // frequencies are skewed.
 const partsPerWorker = 4
 
-// TokenBlocking implements Engine: per-worker tokenization and local
-// inverted indexes over contiguous id ranges, a lock-free merge under
-// a token-hash partition (each token owned by one partition, id lists
-// concatenated in shard order — already sorted, since shards are
-// ascending id ranges), and a parallel merge of the per-partition
-// sorted runs into the global key order.
+// Stream implements Engine: the per-partition sorted block runs are
+// built in parallel (see blockRuns), then yielded through a lazy k-way
+// merge — blocks stay in their partitions and flow to the cleaning
+// transforms one at a time, instead of being concatenated into one
+// materialized slice.
+func (e Shared) Stream(src *kb.Collection, opts tokenize.Options) (blocking.Stream, error) {
+	runs := e.blockRuns(src, opts)
+	return blocking.MergeRunsStream(src, src.NumLiveKBs() > 1, runs), nil
+}
+
+// TokenBlocking implements Engine: blockRuns' partitions merged into
+// the global key order in parallel — the materialized reference for
+// the stream path.
 func (e Shared) TokenBlocking(src *kb.Collection, opts tokenize.Options) (*blocking.Collection, error) {
 	col := &blocking.Collection{Source: src, CleanClean: src.NumLiveKBs() > 1}
+	col.Blocks = mergeBlockRuns(e.blockRuns(src, opts), e.Workers)
+	return col, nil
+}
+
+// blockRuns is the parallel half of token blocking: per-worker
+// tokenization and local inverted indexes over contiguous id ranges,
+// then a lock-free merge under a token-hash partition (each token owned
+// by one partition, id lists concatenated in shard order — already
+// sorted, since shards are ascending id ranges). Each partition's
+// blocks come out sorted by key, with the blocks that induce no
+// comparisons already pruned.
+func (e Shared) blockRuns(src *kb.Collection, opts tokenize.Options) [][]blocking.Block {
 	if src.Len() == 0 {
-		return col, nil
+		return nil
 	}
+	cleanClean := src.NumLiveKBs() > 1
 	// Tokenize in parallel, priming the collection's token cache for
 	// the rest of the pipeline (the matcher reads the same evidence).
 	tokens := src.WarmTokens(opts, e.Workers)
@@ -108,18 +128,14 @@ func (e Shared) TokenBlocking(src *kb.Collection, opts tokenize.Options) (*block
 				continue
 			}
 			b := blocking.Block{Key: tok, Entities: ids}
-			if b.Comparisons(src, col.CleanClean) == 0 {
+			if b.Comparisons(src, cleanClean) == 0 {
 				continue
 			}
 			run = append(run, b)
 		}
 		runs[p] = run
 	})
-
-	// Assemble: merge the sorted runs into the global ascending key
-	// order — the order the sequential builder emits.
-	col.Blocks = mergeBlockRuns(runs, e.Workers)
-	return col, nil
+	return runs
 }
 
 // tokenPartition hashes a token to a merge partition (inline FNV-1a;
@@ -404,6 +420,14 @@ func (e Shared) Build(col *blocking.Collection, scheme metablocking.Scheme) (*me
 // Prune implements Engine via the sharded pruner in internal/parmeta.
 func (e Shared) Prune(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions) ([]metablocking.Edge, error) {
 	return parmeta.Prune(g, alg, opts, e.Workers), nil
+}
+
+// PruneMemoized implements the optional memoPruner capability: the
+// sharded prune plus the retention memo that seeds locality-aware
+// re-pruning, memo-compatible with the sequential engine's bit for bit.
+func (e Shared) PruneMemoized(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions) ([]metablocking.Edge, *metablocking.PruneMemo, error) {
+	kept, memo := parmeta.PruneMemoized(g, alg, opts, e.Workers)
+	return kept, memo, nil
 }
 
 // Ingest implements Engine: the shared incremental pass with the

@@ -313,10 +313,13 @@ type statusResponse struct {
 	Clusters    int              `json:"clusters"`
 	Stats       minoaner.Stats   `json:"stats"`
 	Timings     minoaner.Timings `json:"timings"`
+	Gauges      minoaner.Gauges  `json:"gauges"`
 }
 
 // handleStatus answers GET /status: progress, queue depth, budget
-// spent, per-stage timings, and the snapshot epoch.
+// spent, per-stage timings, the front-end memory gauges (graph and
+// streaming-index footprint, tombstone debt, compaction epochs), and
+// the snapshot epoch.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	ev := s.snap.Load()
 	st := ev.view.Stats()
@@ -327,6 +330,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Clusters:    len(ev.view.Result().Clusters),
 		Stats:       st,
 		Timings:     ev.view.Timings(),
+		Gauges:      ev.view.Gauges(),
 	})
 }
 

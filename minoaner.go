@@ -166,6 +166,24 @@ type Config struct {
 	// document) is not a batch and leaves the window untouched.
 	// 0 (the default) disables the window.
 	TTL int
+	// CompactionThreshold triggers an id-space compaction epoch when
+	// the fraction of tombstoned ids in the session's collection
+	// reaches it. Ids are never reused within a collection, so a
+	// long-lived session with eviction — a TTL sliding window above
+	// all — otherwise accretes dead ids that every id-indexed
+	// structure (token cache, per-node graph arrays, cluster state)
+	// keeps paying for. When the threshold trips after an eviction
+	// pass, the session re-bases onto a compacted collection holding
+	// only the live descriptions under fresh dense ids: the front-end
+	// rebuilds over it and the resolution history is replayed with
+	// remapped ids, leaving a state equivalent to a session over a
+	// corpus that never held the departed descriptions. References
+	// (KB + URI) are stable across epochs — only internal ids move.
+	//
+	// 0 (the default) enables compaction at density ½ when TTL is
+	// active and disables it otherwise; negative disables it
+	// unconditionally; an explicit value in (0, 1] sets the density.
+	CompactionThreshold float64
 	// MapReduce routes the front-end stages through the in-process
 	// MapReduce engine (internal/parblock) instead of the
 	// shared-memory one when Workers resolves to more than 1 — the
@@ -281,6 +299,35 @@ func New(cfg Config) *Pipeline {
 	}
 	cfg.Match.Tokenize = cfg.Tokenize
 	return &Pipeline{cfg: cfg, col: kb.NewCollection()}
+}
+
+// pipelineOptions maps the public configuration onto the front-end
+// engine options — one translation, shared by Start and by the
+// compaction epoch's rebuild, so the two can never drift.
+func (p *Pipeline) pipelineOptions() pipeline.Options {
+	return pipeline.Options{
+		Tokenize:          p.cfg.Tokenize,
+		PurgeMaxBlockSize: p.cfg.PurgeMaxBlockSize,
+		FilterRatio:       p.cfg.FilterRatio,
+		Scheme:            p.cfg.Scheme,
+		Pruning:           p.cfg.Pruning,
+		Reciprocal:        p.cfg.Reciprocal,
+	}
+}
+
+// compactionThreshold resolves Config.CompactionThreshold to the
+// effective tombstone-density trigger: the configured value, defaulting
+// to ½ for TTL sessions; 0 means compaction is disabled.
+func (p *Pipeline) compactionThreshold() float64 {
+	switch {
+	case p.cfg.CompactionThreshold < 0:
+		return 0
+	case p.cfg.CompactionThreshold > 0:
+		return p.cfg.CompactionThreshold
+	case p.cfg.TTL > 0:
+		return 0.5
+	}
+	return 0
 }
 
 // LoadKB reads an N-Triples stream as one knowledge base. Literal
@@ -466,6 +513,9 @@ type Session struct {
 	expired int
 	// curGen counts ingest batches, TTL or not.
 	curGen int
+	// compactions counts the id-space compaction epochs this session
+	// has been through (see Config.CompactionThreshold).
+	compactions int
 	// tim accumulates the session-level wall-clock counters (front end,
 	// streaming maintenance, resolve legs); the matching-stage split
 	// lives in the resolver and is merged in by Timings().
@@ -519,14 +569,7 @@ func (p *Pipeline) Start() (*Session, error) {
 	}
 	eng := pipeline.Select(p.cfg.Workers, p.cfg.MapReduce)
 	tStart := time.Now()
-	fstate, err := pipeline.Start(eng, p.col, pipeline.Options{
-		Tokenize:          p.cfg.Tokenize,
-		PurgeMaxBlockSize: p.cfg.PurgeMaxBlockSize,
-		FilterRatio:       p.cfg.FilterRatio,
-		Scheme:            p.cfg.Scheme,
-		Pruning:           p.cfg.Pruning,
-		Reciprocal:        p.cfg.Reciprocal,
-	})
+	fstate, err := pipeline.Start(eng, p.col, p.pipelineOptions())
 	if err != nil {
 		return nil, fmt.Errorf("minoaner: %w", err)
 	}
@@ -649,6 +692,7 @@ type Snapshot struct {
 	res     *Result
 	pending int
 	tim     Timings
+	gauges  Gauges
 	// index maps every live description to the index of its cluster in
 	// res.Clusters, or -1 when it resolved alone (singleton clusters are
 	// not enumerated in Result.Clusters).
@@ -668,6 +712,7 @@ func (s *Session) Snapshot() *Snapshot {
 		res:     res,
 		pending: s.resolver.Pending(),
 		tim:     s.Timings(),
+		gauges:  s.Gauges(),
 		index:   make(map[Ref]int, s.p.col.NumAlive()),
 		byURI:   make(map[string][]Ref),
 	}
@@ -706,6 +751,9 @@ func (sn *Snapshot) Pending() int { return sn.pending }
 
 // Timings returns the per-stage timing counters at capture time.
 func (sn *Snapshot) Timings() Timings { return sn.tim }
+
+// Gauges returns the session's memory gauges at capture time.
+func (sn *Snapshot) Gauges() Gauges { return sn.gauges }
 
 // SameAs serializes the snapshot's confirmed matches as owl:sameAs
 // N-Triples — the same serializer Result.SameAs uses.
@@ -947,9 +995,14 @@ func (s *Session) syncFront() error {
 	if !ingested && !evicted {
 		return nil // nothing new arrived or departed since the last pass
 	}
-	s.matcher = match.NewMatcher(s.p.col, s.p.cfg.Match)
 	if evicted {
 		s.trace = filterAliveSteps(s.trace, s.p.col)
+		if err := s.maybeCompact(); err != nil {
+			return err
+		}
+	}
+	s.matcher = match.NewMatcher(s.p.col, s.p.cfg.Match)
+	if evicted {
 		s.resolver.Retract(s.matcher, s.fstate.Front.Edges, s.trace)
 		s.tim.Evict += time.Since(t0)
 	} else {
@@ -957,6 +1010,97 @@ func (s *Session) syncFront() error {
 		s.tim.Ingest += time.Since(t0)
 	}
 	s.refreshStats()
+	return nil
+}
+
+// Compactions reports how many id-space compaction epochs the session
+// has been through. Like every Session method it must not race with a
+// concurrent mutation.
+func (s *Session) Compactions() int { return s.compactions }
+
+// Gauges reports the memory-relevant size gauges of a session's
+// front-end state — the numbers an operator watches to see whether a
+// long-lived streaming session is holding its footprint: the blocking
+// graph (edges and approximate bytes), the streaming inverted index
+// (zero until the first real ingest or evict builds it), the tombstone
+// count the next compaction epoch will reclaim, and the epochs already
+// passed. Exposed on the server's /status endpoint via Snapshot.
+type Gauges struct {
+	GraphEdges    int `json:"graphEdges"`
+	GraphBytes    int `json:"graphBytes"`
+	IndexTokens   int `json:"indexTokens"`
+	IndexPostings int `json:"indexPostings"`
+	Tombstones    int `json:"tombstones"`
+	Compactions   int `json:"compactions"`
+}
+
+// Gauges returns the session's current memory gauges. Like every
+// Session method it must not race with a concurrent mutation — the
+// server captures it into each Snapshot from its writer goroutine.
+func (s *Session) Gauges() Gauges {
+	tokens, postings := s.fstate.IndexFootprint()
+	return Gauges{
+		GraphEdges:    s.fstate.Front.Graph.NumEdges(),
+		GraphBytes:    s.fstate.Front.Graph.Footprint(),
+		IndexTokens:   tokens,
+		IndexPostings: postings,
+		Tombstones:    s.p.col.Tombstones(),
+		Compactions:   s.compactions,
+	}
+}
+
+// maybeCompact opens a new compaction epoch when the tombstone density
+// of the shared collection has reached the configured threshold: the
+// live descriptions move into a fresh collection under dense ids, the
+// front-end rebuilds over it from scratch (a full pass, amortized by
+// the threshold against the eviction traffic that raised the density),
+// and the surviving resolution trace is remapped onto the new ids — the
+// Retract replay that follows in syncFront then rebuilds the resolver
+// exactly as a from-scratch session over the surviving corpus would.
+// References (KB + URI) never change; only internal ids move.
+//
+// Runs inside syncFront's eviction branch, after filterAliveSteps (so
+// every trace id is live and has a new id) and after expireTTL (so no
+// surviving generation is at or past the cutoff, and the TTL cursor can
+// rewind to 0 over the compacted, tombstone-free generation array).
+// Nothing is mutated until the rebuild has succeeded, so a failed
+// compaction leaves the session on its old ids, intact and retryable.
+//
+// Superseded sessions hold trace ids of the old id space: after a
+// compaction they can no longer resolve against the shared pipeline —
+// one more reason streaming is restricted to the current session.
+func (s *Session) maybeCompact() error {
+	thr := s.p.compactionThreshold()
+	col := s.p.col
+	if thr <= 0 || col.Len() == 0 {
+		return nil
+	}
+	if float64(col.Tombstones()) < thr*float64(col.Len()) {
+		return nil
+	}
+	newCol, oldToNew := col.Compact()
+	fstate, err := pipeline.Start(s.eng, newCol, s.p.pipelineOptions())
+	if err != nil {
+		return fmt.Errorf("minoaner: compaction: %w", err)
+	}
+	// Commit: every fallible stage succeeded.
+	s.p.col = newCol
+	s.fstate = fstate
+	for i := range s.trace {
+		s.trace[i].A = oldToNew[s.trace[i].A]
+		s.trace[i].B = oldToNew[s.trace[i].B]
+	}
+	if s.gens != nil {
+		kept := s.gens[:0]
+		for id, g := range s.gens {
+			if oldToNew[id] >= 0 {
+				kept = append(kept, g)
+			}
+		}
+		s.gens = kept
+		s.expired = 0
+	}
+	s.compactions++
 	return nil
 }
 
