@@ -4,7 +4,7 @@
 // Usage:
 //
 //	minoaner -kb dbp=dbpedia.nt -kb geo=geonames.nt [-budget N] [-out links.nt]
-//	minoaner serve -kb dbp=dbpedia.nt -kb geo=geonames.nt [-addr host:port] [-budget N]
+//	minoaner serve -kb dbp=dbpedia.nt -kb geo=geonames.nt [-addr host:port] [-budget N] [-wal dir]
 //
 // Each -kb flag names one knowledge base and its N-Triples file.
 // With a single KB the run is dirty ER (duplicates within the KB);
@@ -14,7 +14,9 @@
 // The serve subcommand keeps the resolved session alive behind an HTTP
 // API (see internal/server): snapshot reads on GET /resolve, /clusters,
 // /sameas, and /status; single-writer mutations on POST /ingest,
-// /evict, and /resume. SIGINT/SIGTERM shut it down cleanly.
+// /evict, and /resume. SIGINT/SIGTERM shut it down cleanly. With -wal
+// every mutation is write-ahead logged and a restart (even after a
+// crash) recovers the session from the log instead of -kb files.
 package main
 
 import (
@@ -162,12 +164,10 @@ func runServe(args []string, ready chan<- net.Addr, quit <-chan struct{}) error 
 	ttl := fs.Int("ttl", 0, "sliding-window TTL in ingest batches (0 = keep everything)")
 	clustering := fs.String("clustering", "closure", "final clustering: closure | center | unique")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+	walDir := fs.String("wal", "", "write-ahead-log directory: mutations are logged and a restart recovers the session (empty = RAM only)")
+	walFsync := fs.String("wal-fsync", "wave", "WAL fsync policy with -wal: always | wave | off")
 	if err := fs.Parse(args); err != nil {
 		return err
-	}
-	if len(kbs) == 0 {
-		fs.Usage()
-		return fmt.Errorf("at least one -kb required")
 	}
 
 	cfg := minoaner.Defaults()
@@ -179,18 +179,50 @@ func runServe(args []string, ready chan<- net.Addr, quit <-chan struct{}) error 
 		return err
 	}
 	cfg.Clustering = alg
-	p := minoaner.New(cfg)
-	for _, spec := range kbs {
-		name, path, _ := strings.Cut(spec, "=")
-		if err := p.LoadKBFile(name, path); err != nil {
+
+	var p *minoaner.Pipeline
+	if *walDir != "" {
+		if cfg.WALFsync, err = minoaner.ParseFsyncPolicy(*walFsync); err != nil {
+			return fmt.Errorf("-wal-fsync: %w", err)
+		}
+		if p, err = minoaner.Open(*walDir, cfg); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "loaded %s from %s\n", name, path)
+		defer p.Close()
+	} else {
+		p = minoaner.New(cfg)
 	}
 
-	sess, err := p.Start()
-	if err != nil {
-		return err
+	// A log that already holds a corpus defines the state; -kb would
+	// re-load (and re-log) the same files on every restart.
+	recovered := p.NumDescriptions() > 0
+	if recovered {
+		if len(kbs) > 0 {
+			return fmt.Errorf("-kb conflicts with a recovered -wal session (the log already defines the corpus)")
+		}
+		fmt.Fprintf(os.Stderr, "recovered %d descriptions from %s\n", p.NumDescriptions(), *walDir)
+	} else {
+		if len(kbs) == 0 {
+			fs.Usage()
+			return fmt.Errorf("at least one -kb required")
+		}
+		for _, spec := range kbs {
+			name, path, _ := strings.Cut(spec, "=")
+			if err := p.LoadKBFile(name, path); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "loaded %s from %s\n", name, path)
+		}
+	}
+
+	sess := p.Current() // a recovered log that saw Start resumes its session
+	if sess == nil {
+		if sess, err = p.Start(); err != nil {
+			return err
+		}
+	}
+	if err := p.SyncWAL(); err != nil {
+		return err // the recovered/loaded baseline is durable before serving
 	}
 	res, err := sess.Resume(*budget)
 	if err != nil {
@@ -211,7 +243,6 @@ func runServe(args []string, ready chan<- net.Addr, quit <-chan struct{}) error 
 		if err != nil {
 			return fmt.Errorf("pprof listener: %w", err)
 		}
-		defer pln.Close()
 		pmux := http.NewServeMux()
 		pmux.HandleFunc("/debug/pprof/", pprof.Index)
 		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -219,7 +250,20 @@ func runServe(args []string, ready chan<- net.Addr, quit <-chan struct{}) error 
 		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", pln.Addr())
-		go http.Serve(pln, pmux)
+		// Same hardening as the API server (a diagnostics port is still
+		// a port), and a graceful Shutdown instead of yanking the
+		// listener out from under in-flight profile dumps.
+		ps := &http.Server{
+			Handler:           pmux,
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go ps.Serve(pln)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			ps.Shutdown(sctx)
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -231,7 +275,15 @@ func runServe(args []string, ready chan<- net.Addr, quit <-chan struct{}) error 
 		ready <- ln.Addr()
 	}
 
-	hs := &http.Server{Handler: srv.Handler()}
+	// ReadHeaderTimeout caps how long a connection may dribble its
+	// headers (the slowloris hole an untimed Server leaves open);
+	// IdleTimeout reclaims keep-alive connections. No ReadTimeout: a
+	// legitimate 64 MiB ingest body may stream slowly.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx := context.Background()
 	if quit == nil {
 		var stop context.CancelFunc

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	minoaner "repro"
 )
 
 const testKBa = `<http://a/x> <http://a/name> "turing award" .
@@ -226,5 +228,24 @@ func TestServeErrors(t *testing.T) {
 	}
 	if err := runServe([]string{"-kb", "a=" + a, "-addr", "256.0.0.1:bad"}, nil, nil); err == nil {
 		t.Error("serve with bad address accepted")
+	}
+	if err := runServe([]string{"-kb", "a=" + a, "-wal", t.TempDir(), "-wal-fsync", "bogus"}, nil, nil); err == nil {
+		t.Error("serve with unknown -wal-fsync accepted")
+	}
+	// A log that recovered a corpus conflicts with -kb: the operator must
+	// pick one source of truth.
+	walDir := filepath.Join(t.TempDir(), "wal")
+	p, err := minoaner.Open(walDir, minoaner.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddDescription("a", "http://a/seed", map[string]string{"name": "seed"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := runServe([]string{"-kb", "a=" + a, "-wal", walDir}, nil, nil); err == nil {
+		t.Error("serve with -kb against a recovered log accepted")
 	}
 }

@@ -1,0 +1,283 @@
+// Serve-level crash recovery: a `minoaner serve -wal` process is
+// SIGKILLed — once at a quiescent point, once mid-ingest — and the
+// restarted server must answer /sameas with exactly the resolution of
+// the mutation prefix that survived in the log. The child is this test
+// binary re-exec'd into a helper that calls runServe, so the kill hits
+// a real process, not a goroutine.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	minoaner "repro"
+)
+
+// TestServeChildHelper is not a test: it is the serve child process.
+// The parent re-execs the test binary with MINOANER_SERVE_CHILD=1 and
+// the serve arguments joined on the ASCII unit separator (NUL is not
+// legal in environment values) in MINOANER_SERVE_ARGS.
+func TestServeChildHelper(t *testing.T) {
+	if os.Getenv("MINOANER_SERVE_CHILD") != "1" {
+		t.Skip("serve child helper — only runs re-exec'd")
+	}
+	args := strings.Split(os.Getenv("MINOANER_SERVE_ARGS"), "\x1f")
+	if err := runServe(args, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "child serve:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// reservePort binds and releases an ephemeral port for a child to
+// re-bind — the same probe trick TestServeLifecycle uses.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+	return addr
+}
+
+// startServeChild launches the helper process serving on addr and waits
+// for /status to answer. The returned process is running; kill it.
+func startServeChild(t *testing.T, addr string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestServeChildHelper")
+	cmd.Env = append(os.Environ(),
+		"MINOANER_SERVE_CHILD=1",
+		"MINOANER_SERVE_ARGS="+strings.Join(append(args, "-addr", addr), "\x1f"))
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/status")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal("serve child never became ready")
+	return nil
+}
+
+func sigkill(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // reap; exit status is the kill, not a verdict
+}
+
+// sameAsLines fetches /sameas as N-Triples and returns its sorted
+// lines — the order-insensitive canonical form of the served links.
+func sameAsLines(t *testing.T, addr string) []string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/sameas?format=nt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/sameas: status %d, err %v", resp.StatusCode, err)
+	}
+	return sortedLines(string(body))
+}
+
+func sortedLines(doc string) []string {
+	lines := strings.Split(strings.TrimSpace(doc), "\n")
+	if len(lines) == 1 && lines[0] == "" {
+		lines = nil
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func sameLines(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// crashBatch returns the i-th streamed batch: one fresh matching pair
+// across the two KBs, so every durable batch adds a distinguishable
+// owl:sameAs link — prefixes of the workload resolve to distinct link
+// sets. The tokens are all-letter and unique per batch (the tokenizer
+// splits letter/digit boundaries, so "m0"/"m1" would share tokens, and
+// URIs are tokenized too) — no cross-batch candidate exists, so
+// incremental and from-scratch resolution agree on exactly one link
+// set per prefix.
+func crashBatch(i int) []minoaner.Description {
+	tag := strings.Repeat(string(rune('a'+i)), 3)
+	val := fmt.Sprintf("zq%s yk%s", tag, tag)
+	return []minoaner.Description{
+		{KB: "a", URI: "http://a/m" + tag,
+			Attrs: []minoaner.Attribute{{Predicate: "http://a/name", Value: val}}},
+		{KB: "b", URI: "http://b/m" + tag,
+			Attrs: []minoaner.Attribute{{Predicate: "http://b/label", Value: val}}},
+	}
+}
+
+// expectedSameAs resolves, in-process and from scratch, the corpus
+// after the first k streamed batches — the durable-prefix oracle the
+// restarted server is held to.
+func expectedSameAs(t *testing.T, k int) []string {
+	t.Helper()
+	p := minoaner.New(minoaner.Defaults())
+	if err := p.LoadKB("a", strings.NewReader(testKBa)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadKB("b", strings.NewReader(testKBb)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if err := p.Add(crashBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := p.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sortedLines(res.SameAs())
+}
+
+func postJSON(addr, path, body string) (*http.Response, error) {
+	return http.Post("http://"+addr+path, "application/json", strings.NewReader(body))
+}
+
+func ingestBatchHTTP(t *testing.T, addr string, i int) {
+	t.Helper()
+	b := crashBatch(i)
+	body := fmt.Sprintf(`[{"kb":%q,"uri":%q,"attrs":[{"predicate":%q,"value":%q}]},`+
+		`{"kb":%q,"uri":%q,"attrs":[{"predicate":%q,"value":%q}]}]`,
+		b[0].KB, b[0].URI, b[0].Attrs[0].Predicate, b[0].Attrs[0].Value,
+		b[1].KB, b[1].URI, b[1].Attrs[0].Predicate, b[1].Attrs[0].Value)
+	resp, err := postJSON(addr, "/ingest", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest batch %d: status %d", i, resp.StatusCode)
+	}
+}
+
+// TestServeCrashRecoveryQuiescent kills the serve process after a fully
+// acknowledged workload and restarts it on the same log: the recovered
+// /sameas must equal both the pre-crash answer and the in-process
+// from-scratch resolution of the same mutations.
+func TestServeCrashRecoveryQuiescent(t *testing.T) {
+	_, a, b := writeFiles(t)
+	walDir := filepath.Join(t.TempDir(), "wal")
+
+	const batches = 3
+	addr := reservePort(t)
+	child := startServeChild(t, addr,
+		"-kb", "a="+a, "-kb", "b="+b, "-wal", walDir, "-wal-fsync", "wave")
+	for i := 0; i < batches; i++ {
+		ingestBatchHTTP(t, addr, i)
+	}
+	if resp, err := postJSON(addr, "/resume", ""); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/resume: %v (status %v)", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+	preCrash := sameAsLines(t, addr)
+	if len(preCrash) == 0 {
+		t.Fatal("pre-crash server resolved no links — the recovery assert would be vacuous")
+	}
+	sigkill(t, child)
+
+	addr2 := reservePort(t)
+	startServeChild(t, addr2, "-wal", walDir) // no -kb: the log IS the corpus
+	recovered := sameAsLines(t, addr2)
+
+	if !sameLines(recovered, preCrash) {
+		t.Errorf("recovered /sameas differs from pre-crash:\n  pre  %v\n  post %v", preCrash, recovered)
+	}
+	if want := expectedSameAs(t, batches); !sameLines(recovered, want) {
+		t.Errorf("recovered /sameas differs from from-scratch durable prefix:\n  want %v\n  got  %v", want, recovered)
+	}
+}
+
+// TestServeCrashRecoveryMidIngest kills the serve process while a
+// client is streaming batches, with no quiescing: whatever mutation
+// prefix reached the log must be what the restarted server resolves —
+// /sameas after recovery has to equal the from-scratch resolution of
+// SOME workload prefix (the crash decides which), never a torn or
+// invented state.
+func TestServeCrashRecoveryMidIngest(t *testing.T) {
+	_, a, b := writeFiles(t)
+	walDir := filepath.Join(t.TempDir(), "wal")
+
+	const batches = 6
+	addr := reservePort(t)
+	child := startServeChild(t, addr,
+		"-kb", "a="+a, "-kb", "b="+b, "-wal", walDir, "-wal-fsync", "off")
+	killed := make(chan struct{})
+	go func() {
+		// Kill partway through the stream; the exact moment is the
+		// point — any frame boundary the death lands on must recover.
+		time.Sleep(12 * time.Millisecond)
+		child.Process.Kill()
+		close(killed)
+	}()
+	for i := 0; i < batches; i++ {
+		rb := crashBatch(i)
+		body := fmt.Sprintf(`[{"kb":%q,"uri":%q,"attrs":[{"predicate":%q,"value":%q}]},`+
+			`{"kb":%q,"uri":%q,"attrs":[{"predicate":%q,"value":%q}]}]`,
+			rb[0].KB, rb[0].URI, rb[0].Attrs[0].Predicate, rb[0].Attrs[0].Value,
+			rb[1].KB, rb[1].URI, rb[1].Attrs[0].Predicate, rb[1].Attrs[0].Value)
+		if resp, err := postJSON(addr, "/ingest", body); err != nil {
+			break // the kill landed; stop streaming
+		} else {
+			resp.Body.Close()
+		}
+		time.Sleep(5 * time.Millisecond) // pace the stream so the kill lands inside it
+	}
+	<-killed
+	child.Wait()
+
+	addr2 := reservePort(t)
+	startServeChild(t, addr2, "-wal", walDir)
+	recovered := sameAsLines(t, addr2)
+
+	for k := 0; k <= batches; k++ {
+		if sameLines(recovered, expectedSameAs(t, k)) {
+			t.Logf("recovered to the %d-batch durable prefix", k)
+			return
+		}
+	}
+	t.Fatalf("recovered /sameas matches no workload prefix: %v", recovered)
+}

@@ -460,11 +460,15 @@ func (c *Collection) Neighbors(id int) []int {
 	return out
 }
 
-// LoadTriples folds RDF triples into the collection as descriptions of
-// the named KB. Literal objects become attributes, rdf:type objects
+// DescriptionsFromTriples folds RDF triples into descriptions of the
+// named KB, one per subject in first-appearance order, without adding
+// them anywhere. Literal objects become attributes, rdf:type objects
 // become types, owl:sameAs triples are skipped (they are ground truth,
-// not evidence), and other resource objects become links.
-func (c *Collection) LoadTriples(kbName string, triples []rdf.Triple) {
+// not evidence), and other resource objects become links. LoadTriples
+// adds the result to a collection; the write-ahead-logged ingest path
+// serializes it first, so what the log replays is exactly what the
+// collection absorbed.
+func DescriptionsFromTriples(kbName string, triples []rdf.Triple) []*Description {
 	pending := make(map[string]*Description)
 	order := make([]string, 0, len(triples))
 	for _, t := range triples {
@@ -487,8 +491,43 @@ func (c *Collection) LoadTriples(kbName string, triples []rdf.Triple) {
 			d.Links = append(d.Links, subjectKey(t.Object))
 		}
 	}
-	for _, subj := range order {
-		c.Add(pending[subj])
+	out := make([]*Description, len(order))
+	for i, subj := range order {
+		out[i] = pending[subj]
+	}
+	return out
+}
+
+// DescriptionsFromQuads folds N-Quads statements into descriptions,
+// mapping each named graph to its own KB (default-graph statements to
+// defaultKB), preserving statement order within each graph and graph
+// first-appearance order across them — the same grouping LoadQuads
+// applies.
+func DescriptionsFromQuads(defaultKB string, quads []rdf.Quad) []*Description {
+	perGraph := make(map[string][]rdf.Triple)
+	var order []string
+	for _, q := range quads {
+		name := defaultKB
+		if q.Graph != (rdf.Term{}) {
+			name = q.Graph.Value
+		}
+		if _, seen := perGraph[name]; !seen {
+			order = append(order, name)
+		}
+		perGraph[name] = append(perGraph[name], q.Triple)
+	}
+	var out []*Description
+	for _, name := range order {
+		out = append(out, DescriptionsFromTriples(name, perGraph[name])...)
+	}
+	return out
+}
+
+// LoadTriples folds RDF triples into the collection as descriptions of
+// the named KB (see DescriptionsFromTriples for the folding rules).
+func (c *Collection) LoadTriples(kbName string, triples []rdf.Triple) {
+	for _, d := range DescriptionsFromTriples(kbName, triples) {
+		c.Add(d)
 	}
 }
 
@@ -518,21 +557,8 @@ func (c *Collection) LoadQuads(defaultKB string, r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("kb: load quads: %w", err)
 	}
-	// Group per graph, preserving statement order within each graph.
-	perGraph := make(map[string][]rdf.Triple)
-	var order []string
-	for _, q := range quads {
-		name := defaultKB
-		if q.Graph != (rdf.Term{}) {
-			name = q.Graph.Value
-		}
-		if _, seen := perGraph[name]; !seen {
-			order = append(order, name)
-		}
-		perGraph[name] = append(perGraph[name], q.Triple)
-	}
-	for _, name := range order {
-		c.LoadTriples(name, perGraph[name])
+	for _, d := range DescriptionsFromQuads(defaultKB, quads) {
+		c.Add(d)
 	}
 	return nil
 }

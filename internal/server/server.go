@@ -18,8 +18,9 @@
 //
 // Errors cross the wire by type, not by string: the sentinel errors of
 // the public minoaner API map onto status codes (ErrBadBatch and RDF
-// parse errors → 400, ErrUnknownDescription/ErrUnknownKB → 404,
-// ErrSessionClosed → 409, a closed server or cancelled request → 503).
+// parse errors → 400, an oversized body → 413, ErrUnknownDescription/
+// ErrUnknownKB → 404, ErrSessionClosed → 409, a closed server or
+// cancelled request → 503, a desynced session → 500).
 package server
 
 import (
@@ -48,8 +49,10 @@ var ErrClosed = errors.New("server closed")
 const maxWave = 64
 
 // maxBody caps a mutation request body (a JSON batch or an N-Triples
-// document): 64 MiB, far above any sane batch, far below a mistake.
-const maxBody = 64 << 20
+// document): 64 MiB, far above any sane batch, far below a mistake. A
+// variable so the oversized-body tests can lower it instead of
+// shipping 64 MiB requests.
+var maxBody int64 = 64 << 20
 
 // Server serves one live Session. Create with New, attach Handler to
 // an http.Server, Close when done.
@@ -130,6 +133,18 @@ func (s *Server) writer() {
 					continue
 				}
 				errs[i] = o.apply(o.ctx)
+			}
+			// One commit wave = one durable unit: under fsync=wave the
+			// whole burst reaches stable storage in a single sync before
+			// anyone is acknowledged. If the sync fails, no op in the
+			// wave may claim success — its record might not survive a
+			// crash.
+			if err := s.sess.SyncWAL(); err != nil {
+				for i := range errs {
+					if errs[i] == nil {
+						errs[i] = err
+					}
+				}
 			}
 			next := &epochView{epoch: s.snap.Load().epoch + 1, view: s.sess.Snapshot()}
 			s.snap.Store(next)
@@ -355,7 +370,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		doc, err := io.ReadAll(body)
 		if err != nil {
-			writeError(w, s.Epoch(), http.StatusBadRequest, err)
+			writeError(w, s.Epoch(), bodyStatus(err), err)
 			return
 		}
 		epoch, err := s.do(r.Context(), func(context.Context) error {
@@ -370,7 +385,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	var batch []minoaner.Description
 	if err := json.NewDecoder(body).Decode(&batch); err != nil {
-		writeError(w, s.Epoch(), http.StatusBadRequest, fmt.Errorf("decode batch: %w", err))
+		writeError(w, s.Epoch(), bodyStatus(err), fmt.Errorf("decode batch: %w", err))
 		return
 	}
 	epoch, err := s.do(r.Context(), func(context.Context) error {
@@ -394,7 +409,7 @@ type evictRequest struct {
 func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	var req evictRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
-		writeError(w, s.Epoch(), http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		writeError(w, s.Epoch(), bodyStatus(err), fmt.Errorf("decode request: %w", err))
 		return
 	}
 	if (len(req.Refs) == 0) == (req.KB == "") {
@@ -455,6 +470,18 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// bodyStatus maps a request-body read error to its status: a body that
+// outgrew MaxBytesReader is the client sending too much (413), anything
+// else is a malformed request (400). The JSON decoder wraps the
+// *http.MaxBytesError it hits mid-stream, so match with errors.As.
+func bodyStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // errStatus maps an error to its HTTP status by type — the reason the
 // public API grew sentinel errors.
 func errStatus(err error) int {
@@ -469,6 +496,11 @@ func errStatus(err error) int {
 	case errors.Is(err, ErrClosed),
 		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, minoaner.ErrDesynced):
+		// A poisoned session is a server-side invariant failure: the
+		// operator restarts (recovering via the WAL); clients retrying
+		// would only see the same poison again.
+		return http.StatusInternalServerError
 	default:
 		return http.StatusInternalServerError
 	}

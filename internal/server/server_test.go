@@ -536,3 +536,62 @@ func TestWaveBatching(t *testing.T) {
 	}
 	t.Logf("%d mutations committed in %d waves", writers, swaps)
 }
+
+// TestOversizedBody413 lowers the body cap and checks that a request
+// body outgrowing it answers 413 on every mutation endpoint and both
+// ingest content types — not the generic 400 the decode error used to
+// collapse into. A body under the cap must keep working.
+func TestOversizedBody413(t *testing.T) {
+	old := maxBody
+	maxBody = 512
+	t.Cleanup(func() { maxBody = old })
+
+	doc := "<http://x/a> <http://x/p> \"alpha one\" .\n<http://x/b> <http://x/p> \"alpha one\" .\n"
+	_, ts, _ := startServed(t, 0, map[string]string{"alpha": doc})
+
+	var big bytes.Buffer
+	for i := 0; big.Len() <= int(maxBody); i++ {
+		fmt.Fprintf(&big, "<http://big/%d> <http://x/p> \"padding padding padding\" .\n", i)
+	}
+	bigBatch, err := json.Marshal([]minoaner.Description{{
+		KB: "alpha", URI: "http://big/json",
+		Attrs: []minoaner.Attribute{{Predicate: "p", Value: strings.Repeat("x ", int(maxBody))}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigEvict, err := json.Marshal(map[string]any{"kb": strings.Repeat("k", int(maxBody)+1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		label, path, ctype string
+		body               []byte
+	}{
+		{"ingest json", "/ingest", "application/json", bigBatch},
+		{"ingest ntriples", "/ingest?kb=alpha", "application/n-triples", big.Bytes()},
+		{"ingest text/plain", "/ingest?kb=alpha", "text/plain", big.Bytes()},
+		{"evict json", "/evict", "application/json", bigEvict},
+	} {
+		resp, body := post(t, ts, tc.path, tc.ctype, tc.body)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status %d, want 413\n%s", tc.label, resp.StatusCode, body)
+		}
+	}
+
+	// Under the cap everything still flows.
+	small, _ := json.Marshal([]minoaner.Description{{KB: "alpha", URI: "http://small/1",
+		Attrs: []minoaner.Attribute{{Predicate: "p", Value: "tiny"}}}})
+	if resp, body := post(t, ts, "/ingest", "application/json", small); resp.StatusCode != http.StatusOK {
+		t.Fatalf("small ingest: status %d\n%s", resp.StatusCode, body)
+	}
+}
+
+// TestDesyncedStatus pins the wire mapping of a poisoned session: 500,
+// the operator's cue to restart and recover from the WAL.
+func TestDesyncedStatus(t *testing.T) {
+	if got := errStatus(fmt.Errorf("wrap: %w", minoaner.ErrDesynced)); got != http.StatusInternalServerError {
+		t.Fatalf("errStatus(ErrDesynced) = %d, want 500", got)
+	}
+}

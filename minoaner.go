@@ -21,6 +21,7 @@ package minoaner
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/rdf"
 	"repro/internal/tokenize"
+	"repro/internal/wal"
 )
 
 // ErrUnknownDescription reports an Evict of a reference the session
@@ -60,6 +62,18 @@ var ErrSessionClosed = errors.New("session closed")
 // an empty KB name handed to a load. Test with errors.Is; the wrapping
 // error describes the offending item.
 var ErrBadBatch = errors.New("bad batch")
+
+// ErrDesynced reports a session whose streaming maintenance pass
+// failed mid-way: the front-end advanced (or retreated) but the
+// matcher and resolver were never rebuilt over the new state, so reads
+// would silently disagree with the corpus. The session is poisoned —
+// every later mutation and Resume refuses with this error rather than
+// serve the desynchronized state. Recovery is a restart: a
+// write-ahead-logged session (see Open) replays its log into a fresh,
+// consistent session; the already-committed reads of this one remain
+// servable via Snapshot. Test with errors.Is; the first failure's
+// error joins ErrDesynced with the underlying cause.
+var ErrDesynced = errors.New("session desynced")
 
 // Scheme selects the meta-blocking edge-weighting scheme.
 type Scheme = metablocking.Scheme
@@ -191,6 +205,40 @@ type Config struct {
 	// cross-engine differential tests. Results are identical on every
 	// engine.
 	MapReduce bool
+	// WALFsync selects the fsync policy of a write-ahead-logged
+	// pipeline (one constructed with Open): FsyncWave — the default —
+	// defers the disk sync to SyncWAL, which the server calls once per
+	// commit wave; FsyncAlways syncs inside every logged mutation;
+	// FsyncOff never deliberately syncs. Every policy survives a
+	// process crash (appends reach the kernel before a mutation is
+	// applied); the policy is the power-loss line. Ignored by New —
+	// only Open attaches a log.
+	WALFsync FsyncPolicy
+}
+
+// FsyncPolicy selects when the write-ahead log is fsynced; see
+// Config.WALFsync.
+type FsyncPolicy = wal.Policy
+
+// Fsync policies for Config.WALFsync.
+const (
+	// FsyncWave (the default) makes one server commit wave one durable
+	// unit: the log is fsynced by SyncWAL, not by each mutation.
+	FsyncWave = wal.SyncWave
+	// FsyncAlways fsyncs the log inside every logged mutation.
+	FsyncAlways = wal.SyncAlways
+	// FsyncOff never fsyncs; the OS flushes on its own schedule.
+	FsyncOff = wal.SyncOff
+)
+
+// ParseFsyncPolicy reads a policy name — "always", "wave", or "off" —
+// as a flag or config file would spell it.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	p, err := wal.ParsePolicy(s)
+	if err != nil {
+		return p, fmt.Errorf("minoaner: %w", err)
+	}
+	return p, nil
 }
 
 // Defaults returns the configuration used throughout the paper
@@ -283,6 +331,12 @@ type Pipeline struct {
 	// mutates it — is restricted to the current session; earlier
 	// sessions keep operating on their frozen view.
 	current *Session
+	// wal, when non-nil (a pipeline constructed with Open), receives
+	// every mutation — loads, ingests, evictions, Start — as a framed
+	// record before the mutation is applied, so replaying the log
+	// through the same paths reconstructs the state. Nil on pipelines
+	// from New: logging is opt-in.
+	wal *wal.Log
 }
 
 // New returns an empty pipeline with the given configuration.
@@ -300,6 +354,177 @@ func New(cfg Config) *Pipeline {
 	cfg.Match.Tokenize = cfg.Tokenize
 	return &Pipeline{cfg: cfg, col: kb.NewCollection()}
 }
+
+// Open returns a pipeline whose mutations are write-ahead logged under
+// dir — and, when dir already holds a log, the recovered pipeline: the
+// valid record prefix (a torn or corrupted tail is dropped at the last
+// intact frame) is replayed through the ordinary load, Ingest, and
+// Evict paths, so the recovered state is exactly what a from-scratch
+// pipeline fed the same surviving mutations would hold. If the log
+// contains a Start, the recovered session is current (Current returns
+// it) and resolution resumes with a Resume call — resolution state is
+// derived, recomputed, never logged. Recovery requires the same Config
+// the log was written under; TTL expiry and compaction replay
+// deterministically from the recorded batches.
+//
+// After Open every mutation appends its record before applying it;
+// Config.WALFsync decides when records additionally reach the disk.
+// Close the pipeline when done to flush and sync the log.
+func Open(dir string, cfg Config) (*Pipeline, error) {
+	p := New(cfg)
+	log, recs, err := wal.Open(dir, cfg.WALFsync)
+	if err != nil {
+		return nil, fmt.Errorf("minoaner: %w", err)
+	}
+	if err := p.replay(recs); err != nil {
+		log.Close()
+		return nil, err
+	}
+	// Attach only after replay: replayed mutations must not re-append.
+	p.wal = log
+	return p, nil
+}
+
+// Current returns the pipeline's current session — the one Start (or a
+// recovery replaying a logged Start) most recently created — or nil
+// before any Start. Streaming mutation is restricted to it.
+func (p *Pipeline) Current() *Session { return p.current }
+
+// Close releases the pipeline's write-ahead log, flushing and syncing
+// it first; on a pipeline from New it is a no-op. The pipeline still
+// resolves afterwards, but mutations fail on the closed log.
+func (p *Pipeline) Close() error {
+	if p.wal == nil {
+		return nil
+	}
+	return p.wal.Close()
+}
+
+// walEvict is the wire payload of an eviction record — the same shape
+// the server's /evict endpoint accepts: exactly one of Refs or KB.
+type walEvict struct {
+	Refs []Ref  `json:"refs,omitempty"`
+	KB   string `json:"kb,omitempty"`
+}
+
+// walCheckpoint is the wire payload of a checkpoint record: the full
+// live corpus in id order, plus — for TTL sessions — each
+// description's age in ingest batches (how far behind the clock its
+// batch sits), so the sliding window keeps ticking correctly across a
+// recovery.
+type walCheckpoint struct {
+	Descs []Description `json:"descs"`
+	Ages  []int         `json:"ages,omitempty"`
+}
+
+// walAppend frames one record onto the pipeline's log; a pipeline
+// without a log accepts everything silently. Called before the
+// mutation is applied — the write-ahead discipline: a crash between
+// append and apply recovers to a state that includes the mutation,
+// which is indistinguishable from crashing just after the apply.
+func (p *Pipeline) walAppend(typ byte, payload any) error {
+	if p.wal == nil {
+		return nil
+	}
+	var data []byte
+	if payload != nil {
+		var err error
+		if data, err = json.Marshal(payload); err != nil {
+			return fmt.Errorf("minoaner: wal: %w", err)
+		}
+	}
+	if err := p.wal.Append(typ, data); err != nil {
+		return fmt.Errorf("minoaner: %w", err)
+	}
+	return nil
+}
+
+// replay applies a recovered record sequence through the pipeline's
+// ordinary mutation paths. The pipeline's log is still detached, so
+// nothing re-appends; TTL expiry and compaction re-fire exactly as
+// they did in the original timeline, because both are deterministic in
+// the mutation sequence.
+func (p *Pipeline) replay(recs []Record) error {
+	for i, rec := range recs {
+		switch rec.Type {
+		case TypeCheckpoint:
+			if i != 0 || p.col.Len() != 0 {
+				return fmt.Errorf("minoaner: wal: checkpoint record %d is not the head of the log", i)
+			}
+			var chk walCheckpoint
+			if err := json.Unmarshal(rec.Payload, &chk); err != nil {
+				return fmt.Errorf("minoaner: wal: decode checkpoint: %w", err)
+			}
+			p.addRaw(chk.Descs)
+			s, err := p.Start()
+			if err != nil {
+				return fmt.Errorf("minoaner: wal: restore checkpoint: %w", err)
+			}
+			if len(chk.Ages) > 0 && p.cfg.TTL > 0 {
+				// Re-base the TTL clock at zero with the recorded ages:
+				// gens[i] = -age keeps the array non-decreasing (the
+				// checkpoint wrote descriptions in id order, oldest
+				// first), so the prefix-cursor expiry keeps working.
+				if len(chk.Ages) != len(s.gens) {
+					return fmt.Errorf("minoaner: wal: checkpoint carries %d ages for %d descriptions", len(chk.Ages), len(s.gens))
+				}
+				for i, age := range chk.Ages {
+					s.gens[i] = -age
+				}
+				s.curGen, s.expired = 0, 0
+			}
+		case TypeStart:
+			if _, err := p.Start(); err != nil {
+				return fmt.Errorf("minoaner: wal: replay start: %w", err)
+			}
+		case TypeIngest:
+			var batch []Description
+			if err := json.Unmarshal(rec.Payload, &batch); err != nil {
+				return fmt.Errorf("minoaner: wal: decode ingest record %d: %w", i, err)
+			}
+			if s := p.current; s != nil {
+				if err := s.ingestWire(batch); err != nil {
+					return fmt.Errorf("minoaner: wal: replay ingest record %d: %w", i, err)
+				}
+			} else {
+				p.addRaw(batch)
+			}
+		case TypeEvict:
+			var ev walEvict
+			if err := json.Unmarshal(rec.Payload, &ev); err != nil {
+				return fmt.Errorf("minoaner: wal: decode evict record %d: %w", i, err)
+			}
+			s := p.current
+			if s == nil {
+				return fmt.Errorf("minoaner: wal: evict record %d precedes any start", i)
+			}
+			var err error
+			if ev.KB != "" {
+				err = s.EvictKB(ev.KB)
+			} else {
+				err = s.Evict(ev.Refs)
+			}
+			if err != nil {
+				return fmt.Errorf("minoaner: wal: replay evict record %d: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("minoaner: wal: unknown record type %d at record %d", rec.Type, i)
+		}
+	}
+	return nil
+}
+
+// Record re-exports the WAL record so recovery tooling and tests can
+// inspect a log without importing the internal package.
+type Record = wal.Record
+
+// WAL record types, re-exported with the log format.
+const (
+	TypeIngest     = wal.TypeIngest
+	TypeEvict      = wal.TypeEvict
+	TypeStart      = wal.TypeStart
+	TypeCheckpoint = wal.TypeCheckpoint
+)
 
 // pipelineOptions maps the public configuration onto the front-end
 // engine options — one translation, shared by Start and by the
@@ -344,10 +569,11 @@ func (p *Pipeline) LoadKB(name string, r io.Reader) error {
 	if name == "" {
 		return fmt.Errorf("minoaner: KB name must not be empty: %w", ErrBadBatch)
 	}
-	if s := p.current; s != nil {
-		return s.IngestKB(name, r)
+	triples, err := rdf.NewDecoder(r).DecodeAll()
+	if err != nil {
+		return fmt.Errorf("minoaner: load %s: %w", name, err)
 	}
-	return p.col.Load(name, r)
+	return p.dispatchIngest(wireDescs(kb.DescriptionsFromTriples(name, triples)))
 }
 
 // LoadKBTurtle reads a Turtle stream as one knowledge base. After
@@ -356,10 +582,11 @@ func (p *Pipeline) LoadKBTurtle(name string, r io.Reader) error {
 	if name == "" {
 		return fmt.Errorf("minoaner: KB name must not be empty: %w", ErrBadBatch)
 	}
-	if s := p.current; s != nil {
-		return s.ingestBatch(func() error { return p.col.LoadTurtle(name, r) })
+	triples, err := rdf.NewTurtleDecoder(r).DecodeAll()
+	if err != nil {
+		return fmt.Errorf("minoaner: load %s: %w", name, err)
 	}
-	return p.col.LoadTurtle(name, r)
+	return p.dispatchIngest(wireDescs(kb.DescriptionsFromTriples(name, triples)))
 }
 
 // LoadQuads reads an N-Quads stream, mapping each named graph to its
@@ -371,10 +598,11 @@ func (p *Pipeline) LoadQuads(defaultKB string, r io.Reader) error {
 	if defaultKB == "" {
 		return fmt.Errorf("minoaner: default KB name must not be empty: %w", ErrBadBatch)
 	}
-	if s := p.current; s != nil {
-		return s.ingestBatch(func() error { return p.col.LoadQuads(defaultKB, r) })
+	quads, err := rdf.NewQuadDecoder(r).DecodeAll()
+	if err != nil {
+		return fmt.Errorf("minoaner: load quads: %w", err)
 	}
-	return p.col.LoadQuads(defaultKB, r)
+	return p.dispatchIngest(wireDescs(kb.DescriptionsFromQuads(defaultKB, quads)))
 }
 
 // LoadKBFile reads an RDF file as one knowledge base. Files ending in
@@ -399,7 +627,7 @@ func (p *Pipeline) AddDescription(kbName, uri string, attrs map[string]string, l
 	if kbName == "" || uri == "" {
 		return fmt.Errorf("minoaner: KB name and URI must not be empty: %w", ErrBadBatch)
 	}
-	d := &kb.Description{URI: uri, KB: kbName, Links: links}
+	d := Description{URI: uri, KB: kbName, Links: links}
 	keys := make([]string, 0, len(attrs))
 	for k := range attrs {
 		keys = append(keys, k)
@@ -408,11 +636,7 @@ func (p *Pipeline) AddDescription(kbName, uri string, attrs map[string]string, l
 	for _, k := range keys {
 		d.Attrs = append(d.Attrs, kb.Attribute{Predicate: k, Value: attrs[k]})
 	}
-	if s := p.current; s != nil {
-		return s.ingestBatch(func() error { p.col.Add(d); return nil })
-	}
-	p.col.Add(d)
-	return nil
+	return p.dispatchIngest([]Description{d})
 }
 
 // Add inserts descriptions directly, preserving attribute order — the
@@ -425,11 +649,38 @@ func (p *Pipeline) Add(batch []Description) error {
 	if err := validateBatch(batch); err != nil {
 		return err
 	}
+	return p.dispatchIngest(batch)
+}
+
+// dispatchIngest routes a validated wire batch to wherever mutations
+// currently go — the live session's streaming path after Start, the
+// shared collection before it — appending the batch to the write-ahead
+// log first in either case. Every load and add funnels through here
+// (parse first, then log, then apply), so the log's ingest records are
+// exactly the batches the collection absorbed, replayable without
+// re-parsing any RDF.
+func (p *Pipeline) dispatchIngest(batch []Description) error {
 	if s := p.current; s != nil {
-		return s.ingestBatch(func() error { p.addRaw(batch); return nil })
+		return s.ingestWire(batch)
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := p.walAppend(TypeIngest, batch); err != nil {
+		return err
 	}
 	p.addRaw(batch)
 	return nil
+}
+
+// wireDescs converts parsed descriptions to their wire form — the
+// JSON-stable shape the server streams and the write-ahead log frames.
+func wireDescs(descs []*kb.Description) []Description {
+	out := make([]Description, len(descs))
+	for i, d := range descs {
+		out[i] = Description{KB: d.KB, URI: d.URI, Types: d.Types, Attrs: d.Attrs, Links: d.Links}
+	}
+	return out
 }
 
 func validateBatch(batch []Description) error {
@@ -520,6 +771,10 @@ type Session struct {
 	// streaming maintenance, resolve legs); the matching-stage split
 	// lives in the resolver and is merged in by Timings().
 	tim Timings
+	// desynced, once set, is the sticky poison of a failed mid-pass
+	// synchronization (see syncFront): every later mutation and Resume
+	// returns it. It wraps ErrDesynced and the first cause.
+	desynced error
 }
 
 // Timings reports cumulative wall-clock time per pipeline stage of one
@@ -594,6 +849,13 @@ func (p *Pipeline) Start() (*Session, error) {
 	}
 	p.current = s
 	s.refreshStats()
+	// The log's Start marker: records before it replay as pre-Start
+	// loads, records after it as streaming mutations of the session it
+	// (re)creates. Appended only once Start has fully succeeded, so a
+	// replayed Start succeeds too.
+	if err := p.walAppend(TypeStart, nil); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -630,6 +892,9 @@ func (s *Session) Resume(budget int) (*Result, error) {
 // together with ctx.Err(), so a caller (the server's writer goroutine)
 // can give up on a wedged request without losing or corrupting work.
 func (s *Session) ResumeContext(ctx context.Context, budget int) (*Result, error) {
+	if s.desynced != nil {
+		return nil, s.desynced // a poisoned session serves no reads
+	}
 	t0 := time.Now()
 	res := s.resolver.RunBudgetContext(ctx, budget)
 	s.tim.Resolve += time.Since(t0)
@@ -826,7 +1091,7 @@ func (s *Session) Ingest(batch []Description) error {
 	if err := validateBatch(batch); err != nil {
 		return err
 	}
-	return s.ingestBatch(func() error { s.p.addRaw(batch); return nil })
+	return s.ingestWire(batch)
 }
 
 // ingestable refuses streaming — ingestion and eviction alike — for
@@ -850,7 +1115,11 @@ func (s *Session) IngestKB(name string, r io.Reader) error {
 	if name == "" {
 		return fmt.Errorf("minoaner: KB name must not be empty: %w", ErrBadBatch)
 	}
-	return s.ingestBatch(func() error { return s.p.col.Load(name, r) })
+	triples, err := rdf.NewDecoder(r).DecodeAll()
+	if err != nil {
+		return fmt.Errorf("minoaner: load %s: %w", name, err)
+	}
+	return s.ingestWire(wireDescs(kb.DescriptionsFromTriples(name, triples)))
 }
 
 // Evict removes descriptions from the live session. Every reference
@@ -901,6 +1170,11 @@ func (s *Session) Evict(refs []Ref) error {
 		}
 		ids = append(ids, id)
 	}
+	// Every ref resolved against the live corpus, so the record will
+	// replay cleanly; append it before the first tombstone lands.
+	if err := s.p.walAppend(TypeEvict, walEvict{Refs: refs}); err != nil {
+		return err
+	}
 	changed := false
 	for _, id := range ids {
 		if s.p.col.Evict(id) {
@@ -935,28 +1209,41 @@ func (s *Session) EvictKB(name string) error {
 	if len(ids) == 0 {
 		return nil
 	}
+	if err := s.p.walAppend(TypeEvict, walEvict{KB: name}); err != nil {
+		return err
+	}
 	for _, id := range ids {
 		s.p.col.Evict(id)
 	}
 	return s.syncFront()
 }
 
-// ingestBatch runs one streaming ingest: the load callback mutates the
-// shared collection, the batch counter advances (the TTL clock), and
-// the session synchronizes — folding the additions in and expiring
-// anything that slid out of the TTL window. A load that brings nothing
-// — an empty batch, an empty document — is a no-op and does not
-// advance the clock: only arriving data slides the TTL window.
-func (s *Session) ingestBatch(load func() error) error {
+// ingestWire runs one streaming ingest of a parsed wire batch: the
+// batch is appended to the write-ahead log, folded into the shared
+// collection, the batch counter advances (the TTL clock), and the
+// session synchronizes — expiring anything that slid out of the TTL
+// window. An empty batch — an empty document — is not logged and does
+// not advance the clock: only arriving data slides the TTL window.
+// During recovery the same path replays each logged batch with the log
+// detached, so replay reconstructs the batch sequence — and with it
+// every TTL expiry and compaction epoch — exactly.
+func (s *Session) ingestWire(batch []Description) error {
 	if err := s.ingestable(); err != nil {
 		return err
 	}
-	beforeLen, beforeMerges := s.p.col.Len(), s.p.col.PendingMerges()
-	if err := load(); err != nil {
-		return fmt.Errorf("minoaner: %w", err)
+	if s.desynced != nil {
+		return s.desynced
 	}
-	// Deltas, not absolutes: merges stranded by an earlier failed load
-	// must not make a later empty call count as a batch.
+	if len(batch) == 0 {
+		return s.syncFront()
+	}
+	if err := s.p.walAppend(TypeIngest, batch); err != nil {
+		return err
+	}
+	beforeLen, beforeMerges := s.p.col.Len(), s.p.col.PendingMerges()
+	s.p.addRaw(batch)
+	// Deltas, not absolutes: merges stranded by an earlier failed pass
+	// must not make a later no-op batch count against the TTL window.
 	if s.p.col.Len() > beforeLen || s.p.col.PendingMerges() > beforeMerges {
 		s.curGen++
 	}
@@ -972,15 +1259,28 @@ func (s *Session) ingestBatch(load func() error) error {
 // resolver is reseeded (resolution is monotonic); after any eviction
 // it is retracted — the trace drops the steps touching departed
 // descriptions and the surviving history is replayed.
+//
+// A failure mid-pass — the engine advanced the front but the matcher
+// and resolver never caught up, or a compaction died between consuming
+// the eviction set and rebuilding — leaves state the pass cannot
+// reconcile: the pending sets are already drained, so a retry would
+// see nothing to do and silently serve the desynchronized state.
+// Instead the session poisons itself (see ErrDesynced): the first such
+// error is returned, remembered, and every later mutation or Resume
+// returns it again. Recovery is a restart — with a write-ahead log,
+// Open replays every acknowledged mutation into a fresh session.
 func (s *Session) syncFront() error {
 	if err := s.ingestable(); err != nil {
 		return err // defense in depth; the public entry points check first
+	}
+	if s.desynced != nil {
+		return s.desynced
 	}
 	t0 := time.Now()
 	ingested := false
 	if s.fstate.PendingIngest() {
 		if err := s.eng.Ingest(s.fstate); err != nil {
-			return fmt.Errorf("minoaner: %w", err)
+			return s.poison(fmt.Errorf("minoaner: %w", err))
 		}
 		ingested = true
 	}
@@ -988,17 +1288,19 @@ func (s *Session) syncFront() error {
 	evicted := false
 	if s.fstate.PendingEvictions() {
 		if err := s.eng.Evict(s.fstate); err != nil {
-			return fmt.Errorf("minoaner: %w", err)
+			return s.poison(fmt.Errorf("minoaner: %w", err))
 		}
 		evicted = true
 	}
 	if !ingested && !evicted {
 		return nil // nothing new arrived or departed since the last pass
 	}
+	compacted := false
 	if evicted {
 		s.trace = filterAliveSteps(s.trace, s.p.col)
-		if err := s.maybeCompact(); err != nil {
-			return err
+		var err error
+		if compacted, err = s.maybeCompact(); err != nil {
+			return s.poison(err)
 		}
 	}
 	s.matcher = match.NewMatcher(s.p.col, s.p.cfg.Match)
@@ -1010,7 +1312,25 @@ func (s *Session) syncFront() error {
 		s.tim.Ingest += time.Since(t0)
 	}
 	s.refreshStats()
+	if compacted {
+		// A compaction epoch bounds the log: rotate it down to one
+		// checkpoint of the live corpus. Failure here does NOT poison —
+		// the in-memory state is fully consistent and the pre-rotation
+		// log still replays to it; the caller just learns the log kept
+		// its old length.
+		return s.walCheckpoint()
+	}
 	return nil
+}
+
+// poison marks the session desynchronized, remembering the first cause;
+// see syncFront. The sticky error wraps ErrDesynced (test with
+// errors.Is) and the original failure.
+func (s *Session) poison(cause error) error {
+	if s.desynced == nil {
+		s.desynced = errors.Join(ErrDesynced, cause)
+	}
+	return s.desynced
 }
 
 // Compactions reports how many id-space compaction epochs the session
@@ -1032,6 +1352,15 @@ type Gauges struct {
 	IndexPostings int `json:"indexPostings"`
 	Tombstones    int `json:"tombstones"`
 	Compactions   int `json:"compactions"`
+	// Write-ahead-log gauges, zero (and omitted from JSON) without a
+	// log: current log size, records in the current file (a fresh
+	// checkpoint resets this to 1 — the records accumulated since the
+	// last rotation), rotations performed, and the wall-clock of the
+	// last fsync (0 under FsyncOff: nothing has been made durable).
+	WALBytes       int64 `json:"walBytes,omitempty"`
+	WALRecords     int64 `json:"walRecords,omitempty"`
+	WALCheckpoints int64 `json:"walCheckpoints,omitempty"`
+	WALLastSyncNs  int64 `json:"walLastSyncNs,omitempty"`
 }
 
 // Gauges returns the session's current memory gauges. Like every
@@ -1039,7 +1368,7 @@ type Gauges struct {
 // server captures it into each Snapshot from its writer goroutine.
 func (s *Session) Gauges() Gauges {
 	tokens, postings := s.fstate.IndexFootprint()
-	return Gauges{
+	g := Gauges{
 		GraphEdges:    s.fstate.Front.Graph.NumEdges(),
 		GraphBytes:    s.fstate.Front.Graph.Footprint(),
 		IndexTokens:   tokens,
@@ -1047,6 +1376,12 @@ func (s *Session) Gauges() Gauges {
 		Tombstones:    s.p.col.Tombstones(),
 		Compactions:   s.compactions,
 	}
+	if w := s.p.wal; w != nil {
+		st := w.Stats()
+		g.WALBytes, g.WALRecords = st.Bytes, st.Records
+		g.WALCheckpoints, g.WALLastSyncNs = st.Checkpoints, st.LastSyncUnixNano
+	}
+	return g
 }
 
 // maybeCompact opens a new compaction epoch when the tombstone density
@@ -1063,25 +1398,29 @@ func (s *Session) Gauges() Gauges {
 // every trace id is live and has a new id) and after expireTTL (so no
 // surviving generation is at or past the cutoff, and the TTL cursor can
 // rewind to 0 over the compacted, tombstone-free generation array).
-// Nothing is mutated until the rebuild has succeeded, so a failed
-// compaction leaves the session on its old ids, intact and retryable.
+// Nothing is mutated until the rebuild has succeeded — but by then the
+// eviction pass has already consumed its pending set, so a failed
+// rebuild is not retryable: syncFront poisons the session on it. The
+// first return value reports whether a compaction epoch happened, so
+// syncFront can checkpoint the write-ahead log after the pass
+// completes.
 //
 // Superseded sessions hold trace ids of the old id space: after a
 // compaction they can no longer resolve against the shared pipeline —
 // one more reason streaming is restricted to the current session.
-func (s *Session) maybeCompact() error {
+func (s *Session) maybeCompact() (bool, error) {
 	thr := s.p.compactionThreshold()
 	col := s.p.col
 	if thr <= 0 || col.Len() == 0 {
-		return nil
+		return false, nil
 	}
 	if float64(col.Tombstones()) < thr*float64(col.Len()) {
-		return nil
+		return false, nil
 	}
 	newCol, oldToNew := col.Compact()
 	fstate, err := pipeline.Start(s.eng, newCol, s.p.pipelineOptions())
 	if err != nil {
-		return fmt.Errorf("minoaner: compaction: %w", err)
+		return false, fmt.Errorf("minoaner: compaction: %w", err)
 	}
 	// Commit: every fallible stage succeeded.
 	s.p.col = newCol
@@ -1101,6 +1440,63 @@ func (s *Session) maybeCompact() error {
 		s.expired = 0
 	}
 	s.compactions++
+	return true, nil
+}
+
+// walCheckpoint rotates the write-ahead log down to a single
+// checkpoint record holding the live corpus (and, for TTL sessions,
+// each description's age in batches) — called after a compaction epoch,
+// the natural moment the corpus is dense and tombstone-free. Replay of
+// a checkpointed log restores the corpus, re-bases the TTL clock from
+// the recorded ages, and continues with the records that follow.
+func (s *Session) walCheckpoint() error {
+	w := s.p.wal
+	if w == nil {
+		return nil
+	}
+	col := s.p.col
+	chk := walCheckpoint{Descs: make([]Description, 0, col.NumAlive())}
+	if s.gens != nil {
+		chk.Ages = make([]int, 0, col.NumAlive())
+	}
+	for id := 0; id < col.Len(); id++ {
+		if !col.Alive(id) {
+			continue
+		}
+		d := col.Desc(id)
+		chk.Descs = append(chk.Descs, Description{
+			KB: d.KB, URI: d.URI, Types: d.Types, Attrs: d.Attrs, Links: d.Links,
+		})
+		if s.gens != nil {
+			chk.Ages = append(chk.Ages, s.curGen-s.gens[id])
+		}
+	}
+	data, err := json.Marshal(chk)
+	if err != nil {
+		return fmt.Errorf("minoaner: wal checkpoint: %w", err)
+	}
+	if err := w.Checkpoint(data); err != nil {
+		return fmt.Errorf("minoaner: %w", err)
+	}
+	return nil
+}
+
+// SyncWAL forces every record appended so far onto stable storage.
+// Under FsyncWave this is the commit point — the server's writer
+// goroutine calls it once per commit wave, making one wave one durable
+// unit; under FsyncAlways each append already synced and under FsyncOff
+// (or without a log) it is a no-op.
+func (s *Session) SyncWAL() error { return s.p.SyncWAL() }
+
+// SyncWAL is the pipeline-level form of Session.SyncWAL, for syncing
+// pre-Start loads.
+func (p *Pipeline) SyncWAL() error {
+	if p.wal == nil {
+		return nil
+	}
+	if err := p.wal.Commit(); err != nil {
+		return fmt.Errorf("minoaner: %w", err)
+	}
 	return nil
 }
 

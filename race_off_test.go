@@ -1,0 +1,5 @@
+//go:build !race
+
+package minoaner_test
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package minoaner_test
+
+// raceEnabled strides the crash-fault sweeps down when the race
+// detector multiplies every recovery by ~10×: the race job still
+// exercises every code path and every frame phase, the exhaustive
+// every-byte sweep stays with the regular test job.
+const raceEnabled = true
