@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/parmeta"
 	"repro/internal/pipeline"
 	"repro/internal/rdf"
+	"repro/internal/store"
 	"repro/internal/tokenize"
 	"repro/internal/wal"
 )
@@ -1102,4 +1104,294 @@ func BenchmarkPR8Artifact(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Log("wrote BENCH_pr8.json")
+}
+
+// --- PR 9 cold-store benchmarks ------------------------------------
+
+// storeBenchSeed fills st with n values of valSize deterministic
+// pseudo-random bytes under the description namespace and returns the
+// keys in insertion order.
+func storeBenchSeed(b *testing.B, st store.Store, n, valSize int) [][]byte {
+	b.Helper()
+	keys := make([][]byte, n)
+	rng := uint64(benchSeed)
+	val := make([]byte, valSize)
+	for i := range keys {
+		keys[i] = store.U64Key('D', uint64(i))
+		for j := range val {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			val[j] = byte(rng >> 33)
+		}
+		if err := st.Put(keys[i], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return keys
+}
+
+// BenchmarkStoreGet measures point reads through the storage boundary:
+// the mem reference map versus disk segments (locator lookup + pread +
+// checksum). The multiplicative-stride walk defeats sequential-read
+// locality, so every disk Get pays a real out-of-order segment read —
+// the cost a cache miss pays in a paged session.
+func BenchmarkStoreGet(b *testing.B) {
+	const n, valSize = 4096, 512
+	backends := []struct {
+		name string
+		open func(b *testing.B) (store.Store, error)
+	}{
+		{"mem", func(b *testing.B) (store.Store, error) { return store.NewMem(), nil }},
+		{"disk", func(b *testing.B) (store.Store, error) {
+			return store.OpenDisk(b.TempDir(), store.DiskOptions{})
+		}},
+	}
+	for _, be := range backends {
+		b.Run(be.name, func(b *testing.B) {
+			st, err := be.open(b)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			keys := storeBenchSeed(b, st, n, valSize)
+			b.SetBytes(valSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := keys[int(uint32(i)*2654435761)&(n-1)]
+				if _, ok, err := st.Get(k); err != nil || !ok {
+					b.Fatalf("get: ok=%v err=%v", ok, err)
+				}
+			}
+		})
+	}
+}
+
+// --- PR 9 perf artifact --------------------------------------------
+
+type pr9ColdRead struct {
+	Backend string `json:"backend"`
+	Reads   int    `json:"reads"`
+	P50Ns   int64  `json:"p50Ns"`
+	P99Ns   int64  `json:"p99Ns"`
+}
+
+type pr9Footprint struct {
+	Store         string `json:"store"`
+	StoreBytes    int64  `json:"storeBytes"`
+	ResidentBytes int64  `json:"residentBytes"`
+	Keys          int64  `json:"keys"`
+	CacheHits     int64  `json:"cacheHits"`
+	CacheMisses   int64  `json:"cacheMisses"`
+}
+
+type pr9Ingest struct {
+	Store      string `json:"store"`
+	NsPerBatch int64  `json:"nsPerBatch"`
+}
+
+var pr9Written bool
+
+// BenchmarkPR9Artifact regenerates BENCH_pr9.json, the cold-store perf
+// record: point-read latency percentiles against each backend, the
+// session footprint gauges under identical streamed workloads (disk
+// resident bytes must sit below mem — the artifact's headline ratio,
+// asserted here because the gauges are deterministic for the fixed
+// seed), and the streaming ingest overhead the disk store adds at the
+// public API (the acceptance criterion reads off diskOverheadPct <=
+// 15). Regenerate the committed copy locally with
+//
+//	go test -run='^$' -bench=PR9Artifact -benchtime=1x
+//
+// Timings vary with hardware and are recorded for trend reading; the
+// bit-identity guarantees live in the store differential suite, not
+// here.
+func BenchmarkPR9Artifact(b *testing.B) {
+	if pr9Written { // the harness re-enters with growing b.N; once is enough
+		return
+	}
+	pr9Written = true
+
+	var art struct {
+		ColdRead            []pr9ColdRead  `json:"coldRead"`
+		Footprint           []pr9Footprint `json:"footprint"`
+		ResidentDiskOverMem float64        `json:"residentDiskOverMem"`
+		SessionIngest       []pr9Ingest    `json:"sessionIngest"`
+		DiskOverheadPct     float64        `json:"diskOverheadPct"`
+	}
+
+	// Point-read percentiles: per-Get wall times over a stride walk of
+	// half-KiB records, sorted once per backend.
+	const n, valSize = 4096, 512
+	for _, be := range []struct {
+		name string
+		open func() (store.Store, error)
+	}{
+		{"mem", func() (store.Store, error) { return store.NewMem(), nil }},
+		{"disk", func() (store.Store, error) {
+			return store.OpenDisk(b.TempDir(), store.DiskOptions{})
+		}},
+	} {
+		st, err := be.open()
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys := storeBenchSeed(b, st, n, valSize)
+		lat := make([]int64, n)
+		for i := range lat {
+			k := keys[int(uint32(i)*2654435761)&(n-1)]
+			start := time.Now()
+			if _, ok, err := st.Get(k); err != nil || !ok {
+				b.Fatalf("get: ok=%v err=%v", ok, err)
+			}
+			lat[i] = time.Since(start).Nanoseconds()
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		art.ColdRead = append(art.ColdRead, pr9ColdRead{
+			Backend: be.name, Reads: n,
+			P50Ns: lat[n/2], P99Ns: lat[n*99/100],
+		})
+	}
+
+	// Footprint: one streamed session per store mode, small caches so
+	// the resident gauge reflects the locator, not a warm LRU.
+	all := streamDescriptions(benchWorld(b, 400))
+	seed := len(all) / 2
+	gaugesUnder := func(mode string) minoaner.Gauges {
+		cfg := minoaner.Defaults()
+		cfg.Store = mode
+		if mode == "disk" {
+			cfg.StoreDir = b.TempDir()
+		}
+		cfg.DescCache = 64
+		cfg.PostingCache = 128
+		p := minoaner.New(cfg)
+		if err := p.Add(all[:seed]); err != nil {
+			b.Fatal(err)
+		}
+		sess, err := p.Start()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for lo := seed; lo < len(all); lo += 10 {
+			hi := lo + 10
+			if hi > len(all) {
+				hi = len(all)
+			}
+			if err := sess.Ingest(all[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := sess.Resume(0); err != nil {
+			b.Fatal(err)
+		}
+		g := sess.Gauges()
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}
+	footprints := map[string]minoaner.Gauges{}
+	for _, mode := range []string{"mem", "disk"} {
+		g := gaugesUnder(mode)
+		footprints[mode] = g
+		art.Footprint = append(art.Footprint, pr9Footprint{
+			Store:         mode,
+			StoreBytes:    g.StoreBytes,
+			ResidentBytes: g.StoreResidentBytes,
+			Keys:          g.StoreKeys,
+			CacheHits:     g.StoreCacheHits,
+			CacheMisses:   g.StoreCacheMisses,
+		})
+	}
+	art.ResidentDiskOverMem = float64(footprints["disk"].StoreResidentBytes) /
+		float64(footprints["mem"].StoreResidentBytes)
+	if art.ResidentDiskOverMem >= 1 {
+		b.Fatalf("disk resident bytes %d not below mem %d",
+			footprints["disk"].StoreResidentBytes, footprints["mem"].StoreResidentBytes)
+	}
+
+	// Streaming ingest overhead: the same batches through a storeless,
+	// mem-backed, and disk-backed session — per-batch wall time at the
+	// public API. Caches are sized to the hot working set (the
+	// recommended operator setting under sustained ingest) so the metric
+	// isolates the write path; the footprint run above shows the
+	// bounded-RAM configuration instead. Modes run paired inside each
+	// iteration and the overhead is the median of per-iteration ratios:
+	// machine-load drift moves both sides of a pair together, so the
+	// ratio sheds it, and the median sheds outlier pairs.
+	batches := (len(all) - seed + 9) / 10
+	stream := func(mode string) time.Duration {
+		cfg := minoaner.Defaults()
+		cfg.Store = mode
+		if mode == "disk" {
+			cfg.StoreDir = b.TempDir()
+		}
+		cfg.DescCache = 8192
+		cfg.PostingCache = 65536
+		p := minoaner.New(cfg)
+		if err := p.Add(all[:seed]); err != nil {
+			b.Fatal(err)
+		}
+		sess, err := p.Start()
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		for lo := seed; lo < len(all); lo += 10 {
+			hi := lo + 10
+			if hi > len(all) {
+				hi = len(all)
+			}
+			if err := sess.Ingest(all[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return elapsed
+	}
+	modes := []string{"", "mem", "disk"}
+	best := map[string]time.Duration{}
+	var ratios []float64
+	const iters = 7
+	for i := 0; i < iters; i++ {
+		var none, disk time.Duration
+		for _, mode := range modes {
+			elapsed := stream(mode)
+			name := mode
+			switch name {
+			case "":
+				name, none = "none", elapsed
+			case "disk":
+				disk = elapsed
+			}
+			if cur, ok := best[name]; !ok || elapsed < cur {
+				best[name] = elapsed
+			}
+		}
+		if i == 0 {
+			continue // warm-up pair: page cache and allocator still settling
+		}
+		ratios = append(ratios, float64(disk)/float64(none))
+	}
+	perBatch := map[string]int64{}
+	for _, mode := range []string{"none", "mem", "disk"} {
+		perBatch[mode] = best[mode].Nanoseconds() / int64(batches)
+		art.SessionIngest = append(art.SessionIngest, pr9Ingest{Store: mode, NsPerBatch: perBatch[mode]})
+	}
+	sort.Float64s(ratios)
+	art.DiskOverheadPct = 100 * (ratios[len(ratios)/2] - 1)
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pr9.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("wrote BENCH_pr9.json")
 }

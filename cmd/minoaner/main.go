@@ -166,6 +166,9 @@ func runServe(args []string, ready chan<- net.Addr, quit <-chan struct{}) error 
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	walDir := fs.String("wal", "", "write-ahead-log directory: mutations are logged and a restart recovers the session (empty = RAM only)")
 	walFsync := fs.String("wal-fsync", "wave", "WAL fsync policy with -wal: always | wave | off")
+	storeMode := fs.String("store", "", "cold store for description bodies, postings, and the blocking graph: mem | disk (empty = all in RAM)")
+	storeDir := fs.String("store-dir", "", "segment directory for -store disk (derived state; reset on every start)")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBody, "cap on a mutation request body in bytes (oversized requests answer 413)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -174,6 +177,8 @@ func runServe(args []string, ready chan<- net.Addr, quit <-chan struct{}) error 
 	cfg.Workers = *workers
 	cfg.MapReduce = *mr
 	cfg.TTL = *ttl
+	cfg.Store = *storeMode
+	cfg.StoreDir = *storeDir
 	alg, err := clusteringAlg(*clustering)
 	if err != nil {
 		return err
@@ -188,10 +193,10 @@ func runServe(args []string, ready chan<- net.Addr, quit <-chan struct{}) error 
 		if p, err = minoaner.Open(*walDir, cfg); err != nil {
 			return err
 		}
-		defer p.Close()
 	} else {
 		p = minoaner.New(cfg)
 	}
+	defer p.Close() // releases the WAL and the cold store; no-op without either
 
 	// A log that already holds a corpus defines the state; -kb would
 	// re-load (and re-log) the same files on every restart.
@@ -231,7 +236,7 @@ func runServe(args []string, ready chan<- net.Addr, quit <-chan struct{}) error 
 	fmt.Fprintf(os.Stderr, "resolved: comparisons=%d matches=%d clusters=%d pending=%d\n",
 		res.Stats.Comparisons, res.Stats.Matches, len(res.Clusters), sess.Pending())
 
-	srv := server.New(sess)
+	srv := server.NewWith(sess, server.Config{MaxBody: *maxBody})
 	defer srv.Close()
 
 	// The profiling endpoint binds its own listener, kept off the API

@@ -1,0 +1,292 @@
+package kb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// Cold descriptions: with a store attached, a Collection keeps only the
+// id-addressed hot state resident — URIs, KB indices, liveness, the
+// token cache — and moves description bodies (types, attributes, links)
+// behind the storage boundary. Bodies page back in through a small LRU
+// of decoded descriptions; everything that only needs identity or
+// liveness (Evict, CrossKB, LiveIDsOfKB) never touches the store.
+//
+// Bodies live under 13-byte sort-preserving keys: the 'D' namespace
+// tag, a big-endian compaction epoch, and the big-endian id. Epochs
+// keep a compacted collection's rewrite separate from its predecessor:
+// Compact writes survivors under epoch+1 while the old epoch stays
+// intact until the swap commits and DropCold clears it — the same
+// prepare/commit shape as the WAL checkpoint it rides along with.
+
+// descTag is the store key namespace for description bodies.
+const descTag = 'D'
+
+// DefaultDescCache is the default capacity of the decoded-description
+// LRU when AttachStore is given no size.
+const DefaultDescCache = 256
+
+func descKey(epoch uint32, id int) []byte {
+	var k [13]byte
+	k[0] = descTag
+	binary.BigEndian.PutUint32(k[1:5], epoch)
+	binary.BigEndian.PutUint64(k[5:], uint64(id))
+	return k[:]
+}
+
+func epochPrefix(epoch uint32) []byte {
+	var k [5]byte
+	k[0] = descTag
+	binary.BigEndian.PutUint32(k[1:5], epoch)
+	return k[:]
+}
+
+// descCache is the mutex-wrapped LRU of decoded descriptions. The lock
+// matters: WarmTokens pages bodies in from worker goroutines.
+type descCache struct {
+	mu  sync.Mutex
+	lru *store.LRU[int, *Description]
+}
+
+func newDescCache(size int) *descCache {
+	if size <= 0 {
+		size = DefaultDescCache
+	}
+	return &descCache{lru: store.NewLRU[int, *Description](size)}
+}
+
+func (dc *descCache) get(id int) (*Description, bool) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.lru.Get(id)
+}
+
+func (dc *descCache) put(id int, d *Description) {
+	dc.mu.Lock()
+	dc.lru.Put(id, d)
+	dc.mu.Unlock()
+}
+
+func (dc *descCache) remove(id int) {
+	dc.mu.Lock()
+	dc.lru.Remove(id)
+	dc.mu.Unlock()
+}
+
+func (dc *descCache) counters() (hits, misses int64) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.lru.Counters()
+}
+
+// AttachStore moves description bodies behind the storage boundary:
+// every body already resident is spilled to the store under the given
+// epoch, and every later Add writes through. cacheSize bounds the LRU
+// of decoded descriptions (≤ 0 means DefaultDescCache).
+func (c *Collection) AttachStore(s store.Store, epoch uint32, cacheSize int) error {
+	c.cold = s
+	c.epoch = epoch
+	c.cacheSize = cacheSize
+	c.cache = newDescCache(cacheSize)
+	c.uris = make([]string, len(c.descs))
+	for id, d := range c.descs {
+		if d == nil {
+			continue
+		}
+		c.uris[id] = d.URI
+		if err := s.Put(descKey(epoch, id), encodeDesc(d)); err != nil {
+			return err
+		}
+		c.descs[id] = nil
+	}
+	return nil
+}
+
+// Spilled reports whether description bodies live behind a store.
+func (c *Collection) Spilled() bool { return c.cold != nil }
+
+// ColdEpoch returns the store epoch this collection's bodies live under.
+func (c *Collection) ColdEpoch() uint32 { return c.epoch }
+
+// DropCold deletes this collection's description bodies from the store
+// — called on the superseded collection once a compaction swap commits,
+// or on the abandoned one when the swap fails.
+func (c *Collection) DropCold() error {
+	if c.cold == nil {
+		return nil
+	}
+	return store.DropPrefix(c.cold, epochPrefix(c.epoch))
+}
+
+// CacheStats returns the decoded-description LRU's cumulative hit and
+// miss counts (zero without a store).
+func (c *Collection) CacheStats() (hits, misses int64) {
+	if c.cache == nil {
+		return 0, 0
+	}
+	return c.cache.counters()
+}
+
+// ColdErr returns the first store error the collection absorbed on a
+// path with no error return (a page-in inside Desc, a write-through
+// inside Add). The session checks it after every mutation wave and
+// poisons itself: once a cold read has been answered with a stub, the
+// in-memory state can no longer be trusted to match the log.
+func (c *Collection) ColdErr() error {
+	c.coldMu.Lock()
+	defer c.coldMu.Unlock()
+	return c.coldErr
+}
+
+func (c *Collection) setColdErr(err error) {
+	c.coldMu.Lock()
+	if c.coldErr == nil {
+		c.coldErr = err
+	}
+	c.coldMu.Unlock()
+}
+
+// pageIn resolves a spilled description: LRU first, then a store read
+// and decode. Safe under concurrent readers (WarmTokens workers).
+func (c *Collection) pageIn(id int) *Description {
+	if d, ok := c.cache.get(id); ok {
+		return d
+	}
+	buf, ok, err := c.cold.Get(descKey(c.epoch, id))
+	if err == nil && !ok {
+		err = fmt.Errorf("kb: cold description %d missing from store (epoch %d)", id, c.epoch)
+	}
+	var d *Description
+	if err == nil {
+		d, err = decodeDesc(buf, c.uris[id], c.kbNames[c.kbOf[id]])
+	}
+	if err != nil {
+		c.setColdErr(err)
+		return &Description{URI: c.uris[id], KB: c.kbNames[c.kbOf[id]]}
+	}
+	c.cache.put(id, d)
+	return d
+}
+
+// putCold writes a description body through to the store.
+func (c *Collection) putCold(id int, d *Description) {
+	if err := c.cold.Put(descKey(c.epoch, id), encodeDesc(d)); err != nil {
+		c.setColdErr(err)
+	}
+}
+
+// concatStrs and concatAttrs build the merged slices of a read-modify-
+// write Add on a spilled description: always a fresh backing array, so
+// the previously cached value is never mutated under a reader.
+func concatStrs(a, b []string) []string {
+	if len(a)+len(b) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(a)+len(b))
+	return append(append(out, a...), b...)
+}
+
+func concatAttrs(a, b []Attribute) []Attribute {
+	if len(a)+len(b) == 0 {
+		return nil
+	}
+	out := make([]Attribute, 0, len(a)+len(b))
+	return append(append(out, a...), b...)
+}
+
+// encodeDesc serializes a description body — types, attributes, links,
+// each a uvarint count of length-prefixed strings. URI and KB are not
+// encoded: they stay in the hot arrays and are re-attached on decode.
+func encodeDesc(d *Description) []byte {
+	size := 8
+	for _, s := range d.Types {
+		size += len(s) + 2
+	}
+	for _, a := range d.Attrs {
+		size += len(a.Predicate) + len(a.Value) + 4
+	}
+	for _, s := range d.Links {
+		size += len(s) + 2
+	}
+	b := make([]byte, 0, size)
+	b = binary.AppendUvarint(b, uint64(len(d.Types)))
+	for _, s := range d.Types {
+		b = appendColdStr(b, s)
+	}
+	b = binary.AppendUvarint(b, uint64(len(d.Attrs)))
+	for _, a := range d.Attrs {
+		b = appendColdStr(b, a.Predicate)
+		b = appendColdStr(b, a.Value)
+	}
+	b = binary.AppendUvarint(b, uint64(len(d.Links)))
+	for _, s := range d.Links {
+		b = appendColdStr(b, s)
+	}
+	return b
+}
+
+func appendColdStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func decodeDesc(buf []byte, uri, kbName string) (*Description, error) {
+	d := &Description{URI: uri, KB: kbName}
+	n, buf, err := readColdCount(buf)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var s string
+		if s, buf, err = readColdStr(buf); err != nil {
+			return nil, err
+		}
+		d.Types = append(d.Types, s)
+	}
+	if n, buf, err = readColdCount(buf); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var p, v string
+		if p, buf, err = readColdStr(buf); err != nil {
+			return nil, err
+		}
+		if v, buf, err = readColdStr(buf); err != nil {
+			return nil, err
+		}
+		d.Attrs = append(d.Attrs, Attribute{Predicate: p, Value: v})
+	}
+	if n, buf, err = readColdCount(buf); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var s string
+		if s, buf, err = readColdStr(buf); err != nil {
+			return nil, err
+		}
+		d.Links = append(d.Links, s)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("kb: %d trailing bytes after description body", len(buf))
+	}
+	return d, nil
+}
+
+func readColdCount(buf []byte) (int, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 || v > uint64(len(buf)) {
+		return 0, nil, fmt.Errorf("kb: corrupt description body (count)")
+	}
+	return int(v), buf[n:], nil
+}
+
+func readColdStr(buf []byte) (string, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 || v > uint64(len(buf)-n) {
+		return "", nil, fmt.Errorf("kb: corrupt description body (string)")
+	}
+	return string(buf[n : n+int(v)]), buf[n+int(v):], nil
+}

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/rdf"
+	"repro/internal/store"
 	"repro/internal/tokenize"
 )
 
@@ -94,6 +95,15 @@ type Collection struct {
 	dead     []bool // id → tombstoned by Evict (nil while nothing evicted)
 	numDead  int
 	evicted  []int // ids tombstoned since the last TakeEvicted
+
+	// Cold-description state (see cold.go); all nil/zero without a store.
+	cold      store.Store
+	epoch     uint32     // store key epoch for this collection's bodies
+	uris      []string   // id → URI, kept hot while bodies are spilled
+	cache     *descCache // LRU of decoded descriptions
+	cacheSize int
+	coldMu    sync.Mutex
+	coldErr   error // first store failure on a no-error-return path
 }
 
 // NewCollection returns an empty collection.
@@ -115,10 +125,24 @@ func NewCollection() *Collection {
 // relies on to keep delta tokenization proportional to the delta.
 func (c *Collection) Add(d *Description) int {
 	if id, ok := c.byURI[key(d.KB, d.URI)]; ok {
-		ex := c.descs[id]
-		ex.Types = append(ex.Types, d.Types...)
-		ex.Attrs = append(ex.Attrs, d.Attrs...)
-		ex.Links = append(ex.Links, d.Links...)
+		if c.cold != nil {
+			// Spilled bodies are immutable once decoded (concurrent
+			// readers may hold the cached pointer): merge into a fresh
+			// description, write it through, and replace the cache slot.
+			old := c.Desc(id)
+			nd := &Description{URI: old.URI, KB: old.KB,
+				Types: concatStrs(old.Types, d.Types),
+				Attrs: concatAttrs(old.Attrs, d.Attrs),
+				Links: concatStrs(old.Links, d.Links),
+			}
+			c.putCold(id, nd)
+			c.cache.put(id, nd)
+		} else {
+			ex := c.descs[id]
+			ex.Types = append(ex.Types, d.Types...)
+			ex.Attrs = append(ex.Attrs, d.Attrs...)
+			ex.Links = append(ex.Links, d.Links...)
+		}
 		if c.hasToken {
 			c.tokens[id] = nil
 		}
@@ -126,7 +150,14 @@ func (c *Collection) Add(d *Description) int {
 		return id
 	}
 	id := len(c.descs)
-	c.descs = append(c.descs, d)
+	if c.cold != nil {
+		c.descs = append(c.descs, nil)
+		c.uris = append(c.uris, d.URI)
+		c.putCold(id, d)
+		c.cache.put(id, d) // fresh ids are tokenized next — keep them warm
+	} else {
+		c.descs = append(c.descs, d)
+	}
 	c.byURI[key(d.KB, d.URI)] = id
 	c.anyURI[d.URI] = append(c.anyURI[d.URI], id)
 	ki, ok := c.kbIndex[d.KB]
@@ -165,9 +196,11 @@ func (c *Collection) Evict(id int) bool {
 	}
 	c.dead[id] = true
 	c.numDead++
-	d := c.descs[id]
-	delete(c.byURI, key(d.KB, d.URI))
-	if ids := c.anyURI[d.URI]; len(ids) > 0 {
+	// Key removal needs only identity, which stays hot — eviction never
+	// pages a spilled body back in.
+	uri := c.URIOf(id)
+	delete(c.byURI, key(c.kbNames[c.kbOf[id]], uri))
+	if ids := c.anyURI[uri]; len(ids) > 0 {
 		kept := make([]int, 0, len(ids)-1)
 		for _, x := range ids {
 			if x != id {
@@ -175,10 +208,13 @@ func (c *Collection) Evict(id int) bool {
 			}
 		}
 		if len(kept) == 0 {
-			delete(c.anyURI, d.URI)
+			delete(c.anyURI, uri)
 		} else {
-			c.anyURI[d.URI] = kept
+			c.anyURI[uri] = kept
 		}
+	}
+	if c.cache != nil {
+		c.cache.remove(id)
 	}
 	ki := c.kbOf[id]
 	c.kbLive[ki]--
@@ -205,13 +241,23 @@ func (c *Collection) Evict(id int) bool {
 // descriptions that left long ago.
 func (c *Collection) Compact() (*Collection, []int) {
 	nc := NewCollection()
+	if c.cold != nil {
+		// Survivors rewrite under the next epoch: the old epoch's records
+		// stay untouched until the swap commits and the caller DropColds
+		// this collection — invalidating store offsets and token cache
+		// slots together, never one without the other.
+		nc.cold = c.cold
+		nc.epoch = c.epoch + 1
+		nc.cacheSize = c.cacheSize
+		nc.cache = newDescCache(c.cacheSize)
+	}
 	oldToNew := make([]int, len(c.descs))
-	for id, d := range c.descs {
+	for id := range c.descs {
 		if !c.Alive(id) {
 			oldToNew[id] = -1
 			continue
 		}
-		oldToNew[id] = nc.Add(d)
+		oldToNew[id] = nc.Add(c.Desc(id))
 	}
 	nc.merged = nil // distinct live KB+URI pairs: the Adds never merged
 	if c.hasToken {
@@ -346,8 +392,23 @@ func key(kb, uri string) string { return kb + "\x00" + uri }
 // Len returns the number of descriptions.
 func (c *Collection) Len() int { return len(c.descs) }
 
-// Desc returns the description with the given id.
-func (c *Collection) Desc(id int) *Description { return c.descs[id] }
+// Desc returns the description with the given id, paging its body in
+// from the store when spilled. Safe for concurrent readers between
+// mutations (page-ins go through a locked cache).
+func (c *Collection) Desc(id int) *Description {
+	if d := c.descs[id]; d != nil {
+		return d
+	}
+	return c.pageIn(id)
+}
+
+// URIOf returns the URI of id without paging in the description body.
+func (c *Collection) URIOf(id int) string {
+	if c.cold != nil {
+		return c.uris[id]
+	}
+	return c.descs[id].URI
+}
 
 // KBOf returns the KB index of a description id.
 func (c *Collection) KBOf(id int) int { return c.kbOf[id] }
@@ -382,7 +443,7 @@ func (c *Collection) Tokens(id int, opts tokenize.Options) []string {
 		c.hasToken = true
 	}
 	if c.tokens[id] == nil {
-		toks := c.descs[id].Tokens(opts)
+		toks := c.Desc(id).Tokens(opts)
 		if toks == nil {
 			toks = []string{}
 		}
@@ -421,7 +482,7 @@ func (c *Collection) WarmTokens(opts tokenize.Options, workers int) [][]string {
 				if c.tokens[id] != nil || !c.Alive(id) {
 					continue
 				}
-				toks := c.descs[id].Tokens(opts)
+				toks := c.Desc(id).Tokens(opts)
 				if toks == nil {
 					toks = []string{}
 				}
@@ -437,7 +498,7 @@ func (c *Collection) WarmTokens(opts tokenize.Options, workers int) [][]string {
 // target URI is not present in the collection are skipped. Targets are
 // resolved in the same KB first, then in any KB.
 func (c *Collection) Neighbors(id int) []int {
-	d := c.descs[id]
+	d := c.Desc(id)
 	if len(d.Links) == 0 {
 		return nil
 	}
@@ -586,10 +647,11 @@ type Stats struct {
 func (c *Collection) Stats() Stats {
 	s := Stats{Descriptions: c.NumAlive(), KBs: c.NumLiveKBs()}
 	preds := make(map[string]struct{})
-	for id, d := range c.descs {
+	for id := range c.descs {
 		if !c.Alive(id) {
 			continue
 		}
+		d := c.Desc(id)
 		s.Attributes += len(d.Attrs)
 		s.Links += len(d.Links)
 		for _, a := range d.Attrs {
@@ -755,7 +817,7 @@ func (c *Collection) DebugDump(w io.Writer, max int) {
 		if !c.Alive(id) {
 			continue
 		}
-		d := c.descs[id]
+		d := c.Desc(id)
 		fmt.Fprintf(w, "[%d] %s (%s)\n", id, d.URI, d.KB)
 		for _, a := range d.Attrs {
 			fmt.Fprintf(w, "    %s = %q\n", shortPred(a.Predicate), a.Value)

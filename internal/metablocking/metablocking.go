@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/blocking"
 	"repro/internal/container"
+	"repro/internal/store"
 )
 
 // Scheme selects the edge-weighting function.
@@ -86,6 +87,13 @@ type Graph struct {
 	degree []int32   // distinct neighbors per node
 	nBlock int       // total number of blocks
 	nLive  int       // live (non-tombstoned) source descriptions
+
+	// Spill state (see spill.go); zero while the arrays are resident.
+	spill    store.Store
+	spilled  bool
+	spEdges  int    // len(Edges) at spill time
+	spFoot   int    // Footprint at spill time
+	spillBuf []byte // reused encode buffer; Put consumes it before return
 }
 
 // LiveNodes returns how many of the graph's nodes are live source
@@ -171,8 +179,14 @@ func safeLog(x float64) float64 {
 	return math.Log(x)
 }
 
-// NumEdges returns the number of distinct candidate comparisons.
-func (g *Graph) NumEdges() int { return len(g.Edges) }
+// NumEdges returns the number of distinct candidate comparisons,
+// served from the cached count while the arrays are spilled.
+func (g *Graph) NumEdges() int {
+	if g.spilled {
+		return g.spEdges
+	}
+	return len(g.Edges)
+}
 
 // Footprint returns the graph's approximate heap footprint in bytes:
 // the edge records plus the per-edge and per-node weighting evidence
@@ -180,6 +194,9 @@ func (g *Graph) NumEdges() int { return len(g.Edges) }
 // server's /status memory panel), not an accounting truth — it counts
 // the backing arrays the graph owns, not allocator overhead.
 func (g *Graph) Footprint() int {
+	if g.spilled {
+		return g.spFoot
+	}
 	const edgeSize = int(unsafe.Sizeof(Edge{}))
 	return len(g.Edges)*edgeSize + len(g.common)*8 + len(g.arcs)*8 +
 		len(g.blocks)*4 + len(g.degree)*4

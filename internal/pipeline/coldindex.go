@@ -1,0 +1,204 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// Cold postings: with a store attached (Options.Store), the streaming
+// inverted index keeps only its sorted token list hot — the store's
+// locator maps each token to its segment offset — and the posting lists
+// themselves live behind the storage boundary, paging in through a
+// small LRU of decoded postings. The overlay discipline of ingest and
+// evict is unchanged: passes read through lookups that consult the
+// overlay first, and only a committed pass writes the store, so a
+// failed pass still leaves the index intact and retryable (up to store
+// write errors at commit time, which the session treats as fatal).
+//
+// Decoded postings are fresh slices, never mutated in place — a commit
+// replaces the cache entry — so the copy-on-insert invariant cleaned
+// blocks rely on holds trivially in store mode.
+
+// postTag is the store key namespace for posting lists.
+const postTag = 'p'
+
+// DefaultPostingCache is the default capacity of the decoded-posting
+// LRU when Options.Store is set without a size.
+const DefaultPostingCache = 4096
+
+func postKey(tok string) []byte {
+	k := make([]byte, 1+len(tok))
+	k[0] = postTag
+	copy(k[1:], tok)
+	return k
+}
+
+// encodePosting serializes an ascending id list as uvarint deltas.
+func encodePosting(p []int) []byte {
+	b := make([]byte, 0, 2+2*len(p))
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	prev := 0
+	for _, id := range p {
+		b = binary.AppendUvarint(b, uint64(id-prev))
+		prev = id
+	}
+	return b
+}
+
+func decodePosting(buf []byte) ([]int, error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 || n > uint64(len(buf)) {
+		return nil, fmt.Errorf("pipeline: corrupt posting (count)")
+	}
+	buf = buf[w:]
+	p := make([]int, 0, n)
+	prev := 0
+	for i := uint64(0); i < n; i++ {
+		d, w := binary.Uvarint(buf)
+		if w <= 0 {
+			return nil, fmt.Errorf("pipeline: corrupt posting (delta)")
+		}
+		buf = buf[w:]
+		prev += int(d)
+		p = append(p, prev)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("pipeline: %d trailing bytes after posting", len(buf))
+	}
+	return p, nil
+}
+
+// getPosting resolves a token's committed posting list: the resident
+// map in legacy mode; the LRU, then the store, in store mode. Store
+// failures park in st.postErr (the lookup signature has no error
+// return) and fail the pass at its next checkpoint.
+func (st *State) getPosting(tok string) ([]int, bool) {
+	if st.store == nil {
+		p, ok := st.postings[tok]
+		return p, ok
+	}
+	if p, ok := st.pcache.Get(tok); ok {
+		return p, true
+	}
+	buf, ok, err := st.store.Get(postKey(tok))
+	if err != nil {
+		st.setPostErr(err)
+		return nil, false
+	}
+	if !ok {
+		return nil, false
+	}
+	p, err := decodePosting(buf)
+	if err != nil {
+		st.setPostErr(err)
+		return nil, false
+	}
+	st.pcache.Put(tok, p)
+	return p, true
+}
+
+func (st *State) setPostErr(err error) {
+	if st.postErr == nil {
+		st.postErr = err
+	}
+}
+
+// checkPostErr surfaces a store failure absorbed by a lookup inside
+// the pass; the caller returns it before committing anything.
+func (st *State) checkPostErr(kind string) error {
+	if st.postErr != nil {
+		err := st.postErr
+		st.postErr = nil
+		return fmt.Errorf("pipeline: %s: posting store: %w", kind, err)
+	}
+	return nil
+}
+
+// commitPostings applies a pass's posting overlay to the committed
+// index. Empty lists are deletions (evict drains them); nPost tracks
+// the total entry count the resident map used to answer by iteration.
+func (st *State) commitPostings(upd map[string][]int) error {
+	if st.store == nil {
+		for tok, p := range upd {
+			if len(p) == 0 {
+				delete(st.postings, tok)
+				continue
+			}
+			st.postings[tok] = p
+		}
+		return nil
+	}
+	for tok, p := range upd {
+		old, _ := st.getPosting(tok)
+		if err := st.checkPostErr("commit"); err != nil {
+			return err
+		}
+		if len(p) == 0 {
+			if err := st.store.Delete(postKey(tok)); err != nil {
+				return fmt.Errorf("pipeline: commit: posting store: %w", err)
+			}
+			st.pcache.Remove(tok)
+			st.nPost -= len(old)
+			continue
+		}
+		if err := st.store.Put(postKey(tok), encodePosting(p)); err != nil {
+			return fmt.Errorf("pipeline: commit: posting store: %w", err)
+		}
+		st.pcache.Put(tok, p)
+		st.nPost += len(p) - len(old)
+	}
+	return nil
+}
+
+// flushIndex writes a freshly built index to the store, clearing any
+// stale postings first (a session re-Start after compaction rebuilds
+// the index while the store still holds the superseded one).
+func (st *State) flushIndex(postings map[string][]int) error {
+	if err := store.DropPrefix(st.store, []byte{postTag}); err != nil {
+		return err
+	}
+	st.pcache.Clear()
+	st.nPost = 0
+	for tok, p := range postings {
+		if err := st.store.Put(postKey(tok), encodePosting(p)); err != nil {
+			return err
+		}
+		st.nPost += len(p)
+	}
+	return nil
+}
+
+// spillGraph pages the blocking graph out; loadGraph pages it back in
+// at the start of a streaming pass (a no-op while it is already
+// resident, so back-to-back passes pay the round trip once per burst).
+// Both no-op in legacy mode.
+func (st *State) spillGraph() error {
+	if st.store == nil || st.Front == nil {
+		return nil
+	}
+	return st.Front.Graph.Spill(st.store)
+}
+
+func (st *State) loadGraph() error {
+	if st.Front == nil {
+		return nil
+	}
+	return st.Front.Graph.Load()
+}
+
+// SpillGraph pages the blocking graph's arrays out to the store until
+// the next streaming pass needs them — called by the session at stage
+// boundaries: after Start's front-end build, when matching takes over,
+// and around a compaction epoch. No-op without a store.
+func (st *State) SpillGraph() error { return st.spillGraph() }
+
+// CacheStats returns the decoded-posting LRU's cumulative hit and miss
+// counts (zero without a store).
+func (st *State) CacheStats() (hits, misses int64) {
+	if st.pcache == nil {
+		return 0, 0
+	}
+	return st.pcache.Counters()
+}

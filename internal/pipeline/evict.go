@@ -36,12 +36,17 @@ func evict(e Engine, st *State, update updateFn) error {
 	if len(evicted) == 0 {
 		return nil // nothing left: the state is already current
 	}
-	if st.postings == nil {
+	if !st.indexed {
 		// First streaming operation of the session. buildIndex skips
 		// tombstones, so the index is born without the ids pending
 		// eviction — for them the splice below finds nothing to do, by
 		// design; the splice works for ids indexed by earlier passes.
-		st.buildIndex()
+		if err := st.buildIndex(); err != nil {
+			return fmt.Errorf("pipeline(%s): evict: index build: %w", e.Name(), err)
+		}
+	}
+	if err := st.loadGraph(); err != nil {
+		return fmt.Errorf("pipeline(%s): evict: graph load: %w", e.Name(), err)
 	}
 
 	// Splice into an overlay: st.postings and st.keys are only written
@@ -55,8 +60,7 @@ func evict(e Engine, st *State, update updateFn) error {
 		if p, ok := upd[tok]; ok {
 			return p, true
 		}
-		p, ok := st.postings[tok]
-		return p, ok
+		return st.getPosting(tok)
 	}
 	emptied := 0
 	for _, id := range kb.DedupSortedInts(evicted) {
@@ -87,28 +91,30 @@ func evict(e Engine, st *State, update updateFn) error {
 	if err != nil {
 		return err
 	}
+	if err := st.checkPostErr("evict"); err != nil {
+		return err
+	}
 
 	// Commit: drained postings disappear from the index; the sorted key
 	// list shrinks with them, so the linear re-assembly never pays for
 	// tokens only departed descriptions carried.
-	for tok, p := range upd {
-		if len(p) == 0 {
-			delete(st.postings, tok)
-			continue
-		}
-		st.postings[tok] = p
+	if err := st.commitPostings(upd); err != nil {
+		return err
 	}
 	if emptied > 0 {
 		kept := st.keys[:0]
 		for _, tok := range st.keys {
-			if _, ok := st.postings[tok]; ok {
-				kept = append(kept, tok)
+			if p, ok := upd[tok]; ok && len(p) == 0 {
+				continue // drained this pass
 			}
+			kept = append(kept, tok)
 		}
 		st.keys = kept
 	}
 	st.src.DropTokens(evicted) // tombstones stop pinning token slices
 	st.pendingEvicted = nil
 	st.Front = fe
+	// Resident until a stage boundary, like the ingest commit: the
+	// session spills when the streaming burst ends, not between passes.
 	return nil
 }

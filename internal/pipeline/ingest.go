@@ -7,6 +7,7 @@ import (
 	"repro/internal/blocking"
 	"repro/internal/kb"
 	"repro/internal/metablocking"
+	"repro/internal/store"
 )
 
 // State is the resumable front-end of a streaming resolution session:
@@ -42,9 +43,16 @@ type State struct {
 	// the raw inverted index blocking assembles blocks from. Slices
 	// are append-only: mid-list insertion (a merged description gaining
 	// a token) copies, because cleaned blocks may alias the backing
-	// arrays.
+	// arrays. Nil in store mode: posting lists then live behind
+	// Options.Store and page in through pcache (see coldindex.go).
 	postings map[string][]int
 	keys     []string // sorted distinct tokens
+	indexed  bool     // the inverted index has been materialized
+
+	store   store.Store               // nil → resident postings
+	pcache  *store.LRU[string, []int] // decoded postings (store mode)
+	nPost   int                       // total posting entries (store mode)
+	postErr error                     // first store failure inside a pass
 
 	// pendingMerged carries merged-description ids taken from the
 	// source by an ingest that later failed, so a retry still splices
@@ -93,6 +101,9 @@ func (st *State) Covered() int { return st.n }
 // streaming pass — the index is built lazily, so sessions that never
 // stream pay nothing and report nothing.
 func (st *State) IndexFootprint() (tokens, postings int) {
+	if st.store != nil {
+		return len(st.keys), st.nPost
+	}
 	for _, p := range st.postings {
 		postings += len(p)
 	}
@@ -116,6 +127,14 @@ func Start(e Engine, src *kb.Collection, opt Options) (*State, error) {
 		n:       src.Len(),
 		cleaned: fe.Blocks,
 		memo:    memo,
+		store:   opt.Store,
+	}
+	if opt.Store != nil {
+		size := opt.PostingCache
+		if size <= 0 {
+			size = DefaultPostingCache
+		}
+		st.pcache = store.NewLRU[string, []int](size)
 	}
 	src.TakeMerged()  // the full pass covered every description
 	src.TakeEvicted() // and skipped every tombstone
@@ -129,20 +148,27 @@ func Start(e Engine, src *kb.Collection, opt Options) (*State, error) {
 // a re-Start) need no splice: the index is born without them. Runs
 // once, on the first real streaming operation; the token cache is hot
 // after Start's blocking pass, so this is one scan.
-func (st *State) buildIndex() {
-	st.postings = make(map[string][]int)
+func (st *State) buildIndex() error {
+	st.indexed = true
+	postings := make(map[string][]int)
 	for id := 0; id < st.n; id++ {
 		if !st.src.Alive(id) {
 			continue
 		}
 		for _, tok := range st.src.Tokens(id, st.opt.Tokenize) {
-			if _, seen := st.postings[tok]; !seen {
+			if _, seen := postings[tok]; !seen {
 				st.keys = append(st.keys, tok)
 			}
-			st.postings[tok] = append(st.postings[tok], id)
+			postings[tok] = append(postings[tok], id)
 		}
 	}
 	sort.Strings(st.keys)
+	if st.store != nil {
+		// The token list stays hot; the lists flush behind the boundary.
+		return st.flushIndex(postings)
+	}
+	st.postings = postings
+	return nil
 }
 
 // updateFn is an engine's incremental graph-update hook: it transforms
@@ -231,8 +257,13 @@ func ingest(e Engine, st *State, warm func(), update updateFn) error {
 	if warm != nil {
 		warm()
 	}
-	if st.postings == nil {
-		st.buildIndex()
+	if !st.indexed {
+		if err := st.buildIndex(); err != nil {
+			return fmt.Errorf("pipeline(%s): ingest: index build: %w", e.Name(), err)
+		}
+	}
+	if err := st.loadGraph(); err != nil {
+		return fmt.Errorf("pipeline(%s): ingest: graph load: %w", e.Name(), err)
 	}
 
 	// Extend the inverted index into an overlay: st.postings and
@@ -246,8 +277,7 @@ func ingest(e Engine, st *State, warm func(), update updateFn) error {
 		if p, ok := upd[tok]; ok {
 			return p, true
 		}
-		p, ok := st.postings[tok]
-		return p, ok
+		return st.getPosting(tok)
 	}
 	// New ids append in ascending order, so postings stay sorted and
 	// duplicate-free without re-sorting. Ids tombstoned before they
@@ -300,17 +330,24 @@ func ingest(e Engine, st *State, warm func(), update updateFn) error {
 	if err != nil {
 		return err
 	}
+	if err := st.checkPostErr("ingest"); err != nil {
+		return err
+	}
 
 	// Commit: every fallible stage succeeded. (The index overlay is
 	// discarded on any earlier error; a retry rebuilds it from the
 	// committed postings, so a failed ingest is always retryable.)
-	for tok, p := range upd {
-		st.postings[tok] = p
+	if err := st.commitPostings(upd); err != nil {
+		return err
 	}
 	st.keys = keys
 	st.pendingMerged = nil
 	st.n = n
 	st.Front = fe
+	// The graph stays resident through a streaming burst — the next
+	// pass would only page it straight back in. The session spills it
+	// at stage boundaries (Start, Resume, compaction), where matching
+	// takes over and the arrays go idle.
 	return nil
 }
 

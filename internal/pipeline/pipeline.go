@@ -34,6 +34,7 @@ import (
 	"repro/internal/kb"
 	"repro/internal/metablocking"
 	"repro/internal/parmeta"
+	"repro/internal/store"
 	"repro/internal/tokenize"
 )
 
@@ -127,6 +128,14 @@ type Options struct {
 	// into its full-pass fallback; pinning the budget keeps the memo
 	// live across deltas.
 	KPerNode int
+	// Store, when set, moves the streaming index's posting lists and
+	// the blocking graph's arrays behind the storage boundary: only the
+	// sorted token list and the graph's scalar statistics stay resident
+	// between passes (see coldindex.go). Nil keeps everything in RAM.
+	Store store.Store
+	// PostingCache bounds the LRU of decoded posting lists in store
+	// mode (≤ 0 = DefaultPostingCache).
+	PostingCache int
 }
 
 // pruneOptions assembles the engine-facing pruning options of a pass

@@ -48,20 +48,29 @@ var ErrClosed = errors.New("server closed")
 // writes can impose on readers.
 const maxWave = 64
 
-// maxBody caps a mutation request body (a JSON batch or an N-Triples
-// document): 64 MiB, far above any sane batch, far below a mistake. A
-// variable so the oversized-body tests can lower it instead of
-// shipping 64 MiB requests.
-var maxBody int64 = 64 << 20
+// DefaultMaxBody is the default cap on a mutation request body (a JSON
+// batch or an N-Triples document): 64 MiB, far above any sane batch,
+// far below a mistake. Config.MaxBody overrides it per server — the
+// operator-facing knob is the serve command's -max-body flag.
+const DefaultMaxBody int64 = 64 << 20
+
+// Config tunes a Server beyond its Session. The zero value takes the
+// documented defaults.
+type Config struct {
+	// MaxBody caps a mutation request body in bytes; a body outgrowing
+	// it answers 413 (0 = DefaultMaxBody).
+	MaxBody int64
+}
 
 // Server serves one live Session. Create with New, attach Handler to
 // an http.Server, Close when done.
 type Server struct {
-	sess *minoaner.Session
-	snap atomic.Pointer[epochView]
-	ops  chan *op
-	quit chan struct{} // closed by Close: writer drains and exits
-	done chan struct{} // closed by the writer on exit
+	sess    *minoaner.Session
+	maxBody int64
+	snap    atomic.Pointer[epochView]
+	ops     chan *op
+	quit    chan struct{} // closed by Close: writer drains and exits
+	done    chan struct{} // closed by the writer on exit
 
 	closeOnce sync.Once
 }
@@ -92,12 +101,19 @@ type opResult struct {
 // goroutine. The caller must not touch the Session (or its Pipeline)
 // afterwards: the writer goroutine is its single owner — that
 // exclusivity is what lets readers go lock-free.
-func New(sess *minoaner.Session) *Server {
+func New(sess *minoaner.Session) *Server { return NewWith(sess, Config{}) }
+
+// NewWith is New with explicit server configuration.
+func NewWith(sess *minoaner.Session, cfg Config) *Server {
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = DefaultMaxBody
+	}
 	s := &Server{
-		sess: sess,
-		ops:  make(chan *op, maxWave),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		sess:    sess,
+		maxBody: cfg.MaxBody,
+		ops:     make(chan *op, maxWave),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	s.snap.Store(&epochView{epoch: 1, view: sess.Snapshot()})
 	go s.writer()
@@ -359,7 +375,7 @@ type mutationResponse struct {
 // N-Triples document (application/n-triples or text/plain) ingested
 // into the KB named by the required ?kb= parameter.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, maxBody)
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	ctype := r.Header.Get("Content-Type")
 	if strings.Contains(ctype, "application/n-triples") || strings.Contains(ctype, "text/plain") {
 		kbName := r.URL.Query().Get("kb")
@@ -408,7 +424,7 @@ type evictRequest struct {
 // ({"kb": "name"}).
 func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	var req evictRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
 		writeError(w, s.Epoch(), bodyStatus(err), fmt.Errorf("decode request: %w", err))
 		return
 	}

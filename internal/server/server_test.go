@@ -77,6 +77,12 @@ func docHalves(t *testing.T, w *datagen.World, kbName string) (string, string) {
 // initial budget, and wraps everything in a Server + httptest server.
 func startServed(t *testing.T, budget int, docs map[string]string) (*Server, *httptest.Server, *minoaner.Pipeline) {
 	t.Helper()
+	return startServedWith(t, budget, docs, Config{})
+}
+
+// startServedWith is startServed with explicit server configuration.
+func startServedWith(t *testing.T, budget int, docs map[string]string, cfg Config) (*Server, *httptest.Server, *minoaner.Pipeline) {
+	t.Helper()
 	p := minoaner.New(minoaner.Defaults())
 	for name, doc := range docs {
 		if err := p.LoadKB(name, strings.NewReader(doc)); err != nil {
@@ -90,7 +96,7 @@ func startServed(t *testing.T, budget int, docs map[string]string) (*Server, *ht
 	if _, err := sess.Resume(budget); err != nil {
 		t.Fatal(err)
 	}
-	srv := New(sess)
+	srv := NewWith(sess, cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 	return srv, ts, p
@@ -537,17 +543,14 @@ func TestWaveBatching(t *testing.T) {
 	t.Logf("%d mutations committed in %d waves", writers, swaps)
 }
 
-// TestOversizedBody413 lowers the body cap and checks that a request
-// body outgrowing it answers 413 on every mutation endpoint and both
-// ingest content types — not the generic 400 the decode error used to
-// collapse into. A body under the cap must keep working.
+// TestOversizedBody413 configures a low body cap and checks that a
+// request body outgrowing it answers 413 on every mutation endpoint and
+// both ingest content types — not the generic 400 the decode error used
+// to collapse into. A body under the cap must keep working.
 func TestOversizedBody413(t *testing.T) {
-	old := maxBody
-	maxBody = 512
-	t.Cleanup(func() { maxBody = old })
-
+	const maxBody int64 = 512
 	doc := "<http://x/a> <http://x/p> \"alpha one\" .\n<http://x/b> <http://x/p> \"alpha one\" .\n"
-	_, ts, _ := startServed(t, 0, map[string]string{"alpha": doc})
+	_, ts, _ := startServedWith(t, 0, map[string]string{"alpha": doc}, Config{MaxBody: maxBody})
 
 	var big bytes.Buffer
 	for i := 0; big.Len() <= int(maxBody); i++ {

@@ -1,0 +1,76 @@
+package store
+
+import "container/list"
+
+// LRU is a small bounded cache for decoded cold records (descriptions,
+// postings): the structures themselves live in the store; the LRU only
+// bounds how many decoded copies stay warm. Not safe for concurrent
+// use — wrap with the owner's lock.
+type LRU[K comparable, V any] struct {
+	cap   int
+	order *list.List // front = most recent
+	items map[K]*list.Element
+
+	hits, misses int64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewLRU returns an LRU holding at most cap entries (cap < 1 becomes 1).
+func NewLRU[K comparable, V any](cap int) *LRU[K, V] {
+	if cap < 1 {
+		cap = 1
+	}
+	return &LRU[K, V]{cap: cap, order: list.New(), items: make(map[K]*list.Element)}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (l *LRU[K, V]) Get(key K) (V, bool) {
+	if el, ok := l.items[key]; ok {
+		l.hits++
+		l.order.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	l.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces a value, evicting the least recently used
+// entry when full.
+func (l *LRU[K, V]) Put(key K, val V) {
+	if el, ok := l.items[key]; ok {
+		el.Value.(*lruEntry[K, V]).val = val
+		l.order.MoveToFront(el)
+		return
+	}
+	if l.order.Len() >= l.cap {
+		back := l.order.Back()
+		l.order.Remove(back)
+		delete(l.items, back.Value.(*lruEntry[K, V]).key)
+	}
+	l.items[key] = l.order.PushFront(&lruEntry[K, V]{key: key, val: val})
+}
+
+// Remove drops an entry if present.
+func (l *LRU[K, V]) Remove(key K) {
+	if el, ok := l.items[key]; ok {
+		l.order.Remove(el)
+		delete(l.items, key)
+	}
+}
+
+// Clear empties the cache, keeping the hit counters.
+func (l *LRU[K, V]) Clear() {
+	l.order.Init()
+	clear(l.items)
+}
+
+// Len returns the number of cached entries.
+func (l *LRU[K, V]) Len() int { return l.order.Len() }
+
+// Counters returns cumulative hits and misses.
+func (l *LRU[K, V]) Counters() (hits, misses int64) { return l.hits, l.misses }

@@ -122,12 +122,28 @@ type Record struct {
 
 const (
 	headerSize = 9 // u32 length + u32 crc + u8 type
-	// maxPayload bounds a frame's length field: a corrupted length must
-	// not provoke a giant allocation. 1 GiB sits far above any real
-	// batch (the server caps request bodies at 64 MiB).
-	maxPayload = 1 << 30
 	logName    = "wal.log"
 )
+
+// maxPayload bounds a frame's length field both ways: an appended
+// payload over it could not be re-read (readers treat implausible
+// lengths as corruption — a corrupted length must not provoke a giant
+// allocation), so Append refuses it with ErrFrameTooLarge before the
+// length is narrowed to the frame's 32-bit field. 1 GiB sits far above
+// any real batch (the server caps request bodies well below it). A var
+// only so the boundary test can lower it without gigabyte allocations.
+var maxPayload = 1 << 30
+
+// MaxPayload reports the frame payload cap — the budget the session
+// layer splits oversized ingest batches under so every logged record
+// stays replayable.
+func MaxPayload() int { return maxPayload }
+
+// ErrFrameTooLarge reports a payload no frame can carry: appending it
+// would either overflow the frame's 32-bit length field or write a
+// record every reader rejects as corrupt. Nothing is appended. Callers
+// split their batches under MaxPayload instead. Test with errors.Is.
+var ErrFrameTooLarge = errors.New("wal: record exceeds frame cap")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -226,7 +242,7 @@ func readFrames(f *os.File) ([]Record, int64, error) {
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
 		typ := hdr[8]
-		if length > maxPayload {
+		if length > uint32(maxPayload) {
 			return recs, valid, nil // implausible length: corrupt frame
 		}
 		payload := make([]byte, length)
@@ -252,7 +268,7 @@ func (l *Log) Append(typ byte, payload []byte) error {
 		return errors.New("wal: log is closed")
 	}
 	if len(payload) > maxPayload {
-		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame cap", len(payload), maxPayload)
+		return fmt.Errorf("%w: record of %d bytes over the %d-byte cap", ErrFrameTooLarge, len(payload), maxPayload)
 	}
 	binary.LittleEndian.PutUint32(l.hdr[0:4], uint32(len(payload)))
 	crc := crc32.Update(crc32.Checksum([]byte{typ}, castagnoli), castagnoli, payload)
@@ -310,7 +326,7 @@ func (l *Log) Checkpoint(payload []byte) error {
 		return errors.New("wal: log is closed")
 	}
 	if len(payload) > maxPayload {
-		return fmt.Errorf("wal: checkpoint of %d bytes exceeds the %d-byte frame cap", len(payload), maxPayload)
+		return fmt.Errorf("%w: checkpoint of %d bytes over the %d-byte cap", ErrFrameTooLarge, len(payload), maxPayload)
 	}
 	path := filepath.Join(l.dir, logName)
 	tmpPath := path + ".tmp"

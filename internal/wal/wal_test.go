@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -295,4 +296,60 @@ func TestOversizedRecordRefused(t *testing.T) {
 	if st.Records != 1 {
 		t.Fatalf("empty payload refused: %+v", st)
 	}
+}
+
+// TestFrameCapBoundary lowers the frame cap (a var for exactly this)
+// and walks the boundary: an at-cap payload frames and re-reads, one
+// byte over is refused with the typed ErrFrameTooLarge — on Append and
+// on Checkpoint — and a refused record leaves the log byte-identical,
+// still appendable, and still recoverable. The old check produced an
+// untyped error callers could only string-match; worse, without any
+// check the length cast to the frame's 32-bit field would have written
+// a wrapped length and corrupted everything after it.
+func TestFrameCapBoundary(t *testing.T) {
+	old := maxPayload
+	maxPayload = 64
+	t.Cleanup(func() { maxPayload = old })
+	if MaxPayload() != 64 {
+		t.Fatalf("MaxPayload() = %d, want the injected 64", MaxPayload())
+	}
+
+	dir := t.TempDir()
+	l, _, err := Open(dir, SyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atCap := bytes.Repeat([]byte{'a'}, maxPayload)
+	if err := l.Append(TypeIngest, atCap); err != nil {
+		t.Fatalf("at-cap append: %v", err)
+	}
+	sizeBefore := l.Stats().Bytes
+
+	over := bytes.Repeat([]byte{'b'}, maxPayload+1)
+	if err := l.Append(TypeIngest, over); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("over-cap append = %v, want ErrFrameTooLarge", err)
+	}
+	if err := l.Checkpoint(over); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("over-cap checkpoint = %v, want ErrFrameTooLarge", err)
+	}
+	if st := l.Stats(); st.Bytes != sizeBefore || st.Records != 1 {
+		t.Fatalf("refused record moved the log: %+v", st)
+	}
+
+	// The log is still healthy: appends continue, recovery sees exactly
+	// the accepted frames.
+	if err := l.Append(TypeEvict, []byte("after")); err != nil {
+		t.Fatalf("append after refusal: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := Open(dir, SyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, "after refused over-cap frames", []Record{
+		{Type: TypeIngest, Payload: atCap},
+		{Type: TypeEvict, Payload: []byte("after")},
+	}, recs)
 }

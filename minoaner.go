@@ -38,6 +38,7 @@ import (
 	"repro/internal/parmeta"
 	"repro/internal/pipeline"
 	"repro/internal/rdf"
+	"repro/internal/store"
 	"repro/internal/tokenize"
 	"repro/internal/wal"
 )
@@ -214,6 +215,29 @@ type Config struct {
 	// applied); the policy is the power-loss line. Ignored by New —
 	// only Open attaches a log.
 	WALFsync FsyncPolicy
+	// Store selects where the cold big structures — description bodies,
+	// inverted-index postings, blocking-graph arrays — live: "" (the
+	// default) keeps everything in RAM exactly as before; "mem" routes
+	// them through the in-memory reference store (the differential
+	// oracle); "disk" pages them out to append-only segment files under
+	// StoreDir; "disk-temp" is "disk" with a private temp directory
+	// removed on Close (no StoreDir to manage — for tests and
+	// ephemeral runs). Results are bit-identical across the settings —
+	// the store moves bytes, never bits. The store holds derived state
+	// only: recovery (Open) resets it and rebuilds through WAL replay,
+	// so a store that ran ahead of the log's durable prefix can never
+	// corrupt a recovered session.
+	Store string
+	// StoreDir is the segment directory of Store "disk"; required then,
+	// ignored otherwise. It may live alongside the WAL directory but
+	// must not be the same path.
+	StoreDir string
+	// DescCache bounds the LRU of decoded description bodies when a
+	// store is active (0 = kb.DefaultDescCache).
+	DescCache int
+	// PostingCache bounds the LRU of decoded posting lists when a store
+	// is active (0 = pipeline.DefaultPostingCache).
+	PostingCache int
 }
 
 // FsyncPolicy selects when the write-ahead log is fsynced; see
@@ -243,6 +267,12 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 
 // Defaults returns the configuration used throughout the paper
 // reproduction.
+//
+// The MINOANER_STORE environment variable, when set, routes the
+// returned config through that store mode ("mem", "disk-temp") — how
+// CI's disk leg runs the entire differential suite cold-store-backed
+// without touching any call site. Callers that need a specific mode
+// set Config.Store explicitly after Defaults and are unaffected.
 func Defaults() Config {
 	return Config{
 		Tokenize:    tokenize.Default(),
@@ -251,6 +281,7 @@ func Defaults() Config {
 		Pruning:     WNP,
 		Match:       match.DefaultOptions(),
 		Benefit:     AttributeCompleteness,
+		Store:       os.Getenv("MINOANER_STORE"),
 	}
 }
 
@@ -337,6 +368,18 @@ type Pipeline struct {
 	// through the same paths reconstructs the state. Nil on pipelines
 	// from New: logging is opt-in.
 	wal *wal.Log
+	// store, when non-nil (Config.Store "mem", "disk", or
+	// "disk-temp"), holds the cold big structures behind the narrow
+	// storage boundary. Attached lazily by ensureStore before the
+	// first description lands.
+	store store.Store
+	// storeTemp is the private segment directory a "disk-temp" store
+	// minted; Close removes it.
+	storeTemp string
+	// testPayloadCap overrides the WAL frame budget batch splitting
+	// honors; tests use it to exercise the boundary without allocating
+	// gigabyte payloads. 0 means the real wal.MaxPayload.
+	testPayloadCap int
 }
 
 // New returns an empty pipeline with the given configuration.
@@ -372,6 +415,9 @@ func New(cfg Config) *Pipeline {
 // Close the pipeline when done to flush and sync the log.
 func Open(dir string, cfg Config) (*Pipeline, error) {
 	p := New(cfg)
+	if err := p.ensureStore(); err != nil {
+		return nil, err
+	}
 	log, recs, err := wal.Open(dir, cfg.WALFsync)
 	if err != nil {
 		return nil, fmt.Errorf("minoaner: %w", err)
@@ -394,10 +440,73 @@ func (p *Pipeline) Current() *Session { return p.current }
 // it first; on a pipeline from New it is a no-op. The pipeline still
 // resolves afterwards, but mutations fail on the closed log.
 func (p *Pipeline) Close() error {
-	if p.wal == nil {
+	var err error
+	if p.wal != nil {
+		err = p.wal.Close()
+	}
+	if p.store != nil {
+		if serr := p.store.Close(); err == nil {
+			err = serr
+		}
+	}
+	if p.storeTemp != "" {
+		if rerr := os.RemoveAll(p.storeTemp); err == nil {
+			err = rerr
+		}
+		p.storeTemp = ""
+	}
+	return err
+}
+
+// ensureStore attaches the configured cold store before the first
+// description lands. A "disk" store is always opened with Reset: its
+// contents are derived state the WAL (or the caller's corpus) rebuilds,
+// and segments written after the log's last durable record must never
+// survive into a recovered session. Idempotent; "" is the no-store
+// legacy layout.
+func (p *Pipeline) ensureStore() error {
+	if p.cfg.Store == "" || p.store != nil {
 		return nil
 	}
-	return p.wal.Close()
+	var st store.Store
+	switch p.cfg.Store {
+	case "mem":
+		st = store.NewMem()
+	case "disk":
+		if p.cfg.StoreDir == "" {
+			return fmt.Errorf("minoaner: Config.Store %q requires Config.StoreDir", p.cfg.Store)
+		}
+		d, err := store.OpenDisk(p.cfg.StoreDir, store.DiskOptions{Reset: true})
+		if err != nil {
+			return fmt.Errorf("minoaner: open store: %w", err)
+		}
+		st = d
+	case "disk-temp":
+		// Like "disk", but the segments live in a fresh private temp
+		// directory removed on Close. Sound because the store is derived
+		// state — nothing in it outlives the process usefully — and it
+		// gives tests and ephemeral runs the paged backend without a
+		// directory to manage or collide on.
+		dir, err := os.MkdirTemp("", "minoaner-store-")
+		if err != nil {
+			return fmt.Errorf("minoaner: temp store dir: %w", err)
+		}
+		d, err := store.OpenDisk(dir, store.DiskOptions{Reset: true})
+		if err != nil {
+			os.RemoveAll(dir)
+			return fmt.Errorf("minoaner: open store: %w", err)
+		}
+		p.storeTemp = dir
+		st = d
+	default:
+		return fmt.Errorf("minoaner: unknown Config.Store %q (want \"\", \"mem\", \"disk\", or \"disk-temp\")", p.cfg.Store)
+	}
+	if err := p.col.AttachStore(st, 0, p.cfg.DescCache); err != nil {
+		st.Close()
+		return fmt.Errorf("minoaner: attach store: %w", err)
+	}
+	p.store = st
+	return nil
 }
 
 // walEvict is the wire payload of an eviction record — the same shape
@@ -537,6 +646,8 @@ func (p *Pipeline) pipelineOptions() pipeline.Options {
 		Scheme:            p.cfg.Scheme,
 		Pruning:           p.cfg.Pruning,
 		Reciprocal:        p.cfg.Reciprocal,
+		Store:             p.store,
+		PostingCache:      p.cfg.PostingCache,
 	}
 }
 
@@ -660,17 +771,72 @@ func (p *Pipeline) Add(batch []Description) error {
 // exactly the batches the collection absorbed, replayable without
 // re-parsing any RDF.
 func (p *Pipeline) dispatchIngest(batch []Description) error {
+	if err := p.ensureStore(); err != nil {
+		return err
+	}
 	if s := p.current; s != nil {
 		return s.ingestWire(batch)
 	}
 	if len(batch) == 0 {
 		return nil
 	}
-	if err := p.walAppend(TypeIngest, batch); err != nil {
+	// One WAL frame caps at wal.MaxPayload bytes; a larger batch splits
+	// into halves recursively, each logged and applied separately —
+	// replay then re-applies the same sub-batches in the same order.
+	chunks, err := splitBatch(batch, p.payloadCap())
+	if err != nil {
 		return err
 	}
-	p.addRaw(batch)
+	for _, chunk := range chunks {
+		if err := p.walAppend(TypeIngest, chunk); err != nil {
+			return err
+		}
+		p.addRaw(chunk)
+	}
+	if err := p.col.ColdErr(); err != nil {
+		return fmt.Errorf("minoaner: cold store: %w", err)
+	}
 	return nil
+}
+
+// payloadCap is the WAL frame budget a single ingest record must fit;
+// overridden by tests to exercise the splitting without gigabyte
+// batches.
+func (p *Pipeline) payloadCap() int {
+	if p.testPayloadCap > 0 {
+		return p.testPayloadCap
+	}
+	return wal.MaxPayload()
+}
+
+// splitBatch cuts a wire batch into chunks whose JSON encoding fits the
+// frame cap, halving recursively; order is preserved. A single
+// description too large for any frame is refused with the typed
+// wal.ErrFrameTooLarge before anything is logged or applied — the log
+// layer holds the same guard as defense in depth, where an unchecked
+// length would otherwise be narrowed to the frame's 32-bit field and
+// corrupt the log.
+func splitBatch(batch []Description, cap int) ([][]Description, error) {
+	if len(batch) == 1 {
+		if data, err := json.Marshal(batch); err == nil && len(data) > cap {
+			return nil, fmt.Errorf("minoaner: description %s %s encodes to %d bytes over the %d-byte frame cap: %w",
+				batch[0].KB, batch[0].URI, len(data), cap, wal.ErrFrameTooLarge)
+		}
+		return [][]Description{batch}, nil
+	}
+	if data, err := json.Marshal(batch); err == nil && len(data) <= cap {
+		return [][]Description{batch}, nil
+	}
+	mid := len(batch) / 2
+	head, err := splitBatch(batch[:mid], cap)
+	if err != nil {
+		return nil, err
+	}
+	tail, err := splitBatch(batch[mid:], cap)
+	if err != nil {
+		return nil, err
+	}
+	return append(head, tail...), nil
 }
 
 // wireDescs converts parsed descriptions to their wire form — the
@@ -849,6 +1015,12 @@ func (p *Pipeline) Start() (*Session, error) {
 	}
 	p.current = s
 	s.refreshStats()
+	// With a store attached, the blocking graph's arrays page out until
+	// the next streaming pass needs them — refreshStats above already
+	// read the scalar gauges that stay hot.
+	if err := fstate.SpillGraph(); err != nil {
+		return nil, fmt.Errorf("minoaner: %w", err)
+	}
 	// The log's Start marker: records before it replay as pre-Start
 	// loads, records after it as streaming mutations of the session it
 	// (re)creates. Appended only once Start has fully succeeded, so a
@@ -894,6 +1066,14 @@ func (s *Session) Resume(budget int) (*Result, error) {
 func (s *Session) ResumeContext(ctx context.Context, budget int) (*Result, error) {
 	if s.desynced != nil {
 		return nil, s.desynced // a poisoned session serves no reads
+	}
+	// Matching never reads the blocking graph, so this stage boundary
+	// is where its arrays page out until the next streaming pass. A
+	// failed spill leaves the resident graph authoritative — the
+	// session stays consistent, the caller just learns the store is
+	// refusing writes.
+	if err := s.fstate.SpillGraph(); err != nil {
+		return nil, fmt.Errorf("minoaner: graph spill: %w", err)
 	}
 	t0 := time.Now()
 	res := s.resolver.RunBudgetContext(ctx, budget)
@@ -1237,6 +1417,25 @@ func (s *Session) ingestWire(batch []Description) error {
 	if len(batch) == 0 {
 		return s.syncFront()
 	}
+	chunks, err := splitBatch(batch, s.p.payloadCap())
+	if err != nil {
+		return err // refused whole before anything was logged or applied
+	}
+	if len(chunks) > 1 {
+		// The batch cannot be logged as one frame: split it and run each
+		// chunk as its own logged ingest — append, apply, sync — so the
+		// log records exactly what happened and its replay (which sees
+		// one record per chunk) takes the identical path, TTL generation
+		// stamping included. An oversized batch therefore counts as
+		// several batches against a TTL window; the alternative — one
+		// wider-than-the-log batch — could never be recovered faithfully.
+		for _, chunk := range chunks {
+			if err := s.ingestWire(chunk); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if err := s.p.walAppend(TypeIngest, batch); err != nil {
 		return err
 	}
@@ -1282,6 +1481,12 @@ func (s *Session) syncFront() error {
 		if err := s.eng.Ingest(s.fstate); err != nil {
 			return s.poison(fmt.Errorf("minoaner: %w", err))
 		}
+		if err := s.p.col.ColdErr(); err != nil {
+			// A description failed to page in mid-pass; the tokenizer saw
+			// a stub, so the committed front may be wrong. Poison rather
+			// than serve it.
+			return s.poison(fmt.Errorf("minoaner: ingest: description store: %w", err))
+		}
 		ingested = true
 	}
 	s.expireTTL()
@@ -1289,6 +1494,9 @@ func (s *Session) syncFront() error {
 	if s.fstate.PendingEvictions() {
 		if err := s.eng.Evict(s.fstate); err != nil {
 			return s.poison(fmt.Errorf("minoaner: %w", err))
+		}
+		if err := s.p.col.ColdErr(); err != nil {
+			return s.poison(fmt.Errorf("minoaner: evict: description store: %w", err))
 		}
 		evicted = true
 	}
@@ -1310,6 +1518,11 @@ func (s *Session) syncFront() error {
 	} else {
 		s.resolver.Reseed(s.matcher, s.fstate.Front.Edges)
 		s.tim.Ingest += time.Since(t0)
+	}
+	if err := s.p.col.ColdErr(); err != nil {
+		// The matcher rebuild and the resolver replay page descriptions
+		// too; a failure there desyncs scores the same way.
+		return s.poison(fmt.Errorf("minoaner: description store: %w", err))
 	}
 	s.refreshStats()
 	if compacted {
@@ -1361,6 +1574,18 @@ type Gauges struct {
 	WALRecords     int64 `json:"walRecords,omitempty"`
 	WALCheckpoints int64 `json:"walCheckpoints,omitempty"`
 	WALLastSyncNs  int64 `json:"walLastSyncNs,omitempty"`
+	// Cold-store gauges, zero (and omitted from JSON) without a store:
+	// total stored bytes (segment-file bytes on "disk"), the bytes of
+	// that actually resident in RAM (the whole store on "mem"; locator
+	// overhead only on "disk"), live keys, and the cumulative hit/miss
+	// counters of the decoded-description and decoded-posting caches
+	// combined — hits/(hits+misses) is the cache hit rate an operator
+	// sizes Config.DescCache and Config.PostingCache by.
+	StoreBytes         int64 `json:"storeBytes,omitempty"`
+	StoreResidentBytes int64 `json:"storeResidentBytes,omitempty"`
+	StoreKeys          int64 `json:"storeKeys,omitempty"`
+	StoreCacheHits     int64 `json:"storeCacheHits,omitempty"`
+	StoreCacheMisses   int64 `json:"storeCacheMisses,omitempty"`
 }
 
 // Gauges returns the session's current memory gauges. Like every
@@ -1380,6 +1605,13 @@ func (s *Session) Gauges() Gauges {
 		st := w.Stats()
 		g.WALBytes, g.WALRecords = st.Bytes, st.Records
 		g.WALCheckpoints, g.WALLastSyncNs = st.Checkpoints, st.LastSyncUnixNano
+	}
+	if cs := s.p.store; cs != nil {
+		st := cs.Stats()
+		g.StoreBytes, g.StoreResidentBytes, g.StoreKeys = st.Bytes, st.Resident, st.Keys
+		dh, dm := s.p.col.CacheStats()
+		ph, pm := s.fstate.CacheStats()
+		g.StoreCacheHits, g.StoreCacheMisses = dh+ph, dm+pm
 	}
 	return g
 }
@@ -1418,9 +1650,18 @@ func (s *Session) maybeCompact() (bool, error) {
 		return false, nil
 	}
 	newCol, oldToNew := col.Compact()
+	// With a store attached, Compact paged every survivor's body in from
+	// the old epoch and rewrote it under the new one; either side may
+	// have parked a failure.
+	if err := errors.Join(col.ColdErr(), newCol.ColdErr()); err != nil {
+		return false, fmt.Errorf("minoaner: compaction: description store: %w", err)
+	}
 	fstate, err := pipeline.Start(s.eng, newCol, s.p.pipelineOptions())
 	if err != nil {
 		return false, fmt.Errorf("minoaner: compaction: %w", err)
+	}
+	if err := newCol.ColdErr(); err != nil {
+		return false, fmt.Errorf("minoaner: compaction: description store: %w", err)
 	}
 	// Commit: every fallible stage succeeded.
 	s.p.col = newCol
@@ -1440,6 +1681,26 @@ func (s *Session) maybeCompact() (bool, error) {
 		s.expired = 0
 	}
 	s.compactions++
+	if st := s.p.store; st != nil {
+		// The old epoch's cold records are superseded: delete them, spill
+		// the rebuilt graph, and let the store rewrite its segments
+		// without the dead bytes — the compaction epoch is the moment
+		// disk space is actually reclaimed. The in-memory state is
+		// already consistent, but a store that cannot shed its garbage
+		// only falls further behind, so failures here poison like every
+		// other compaction error (the caller treats any non-nil error as
+		// fatal; the false return just skips the log checkpoint the
+		// poisoned session would never reach).
+		if err := col.DropCold(); err != nil {
+			return false, fmt.Errorf("minoaner: compaction: drop old epoch: %w", err)
+		}
+		if err := fstate.SpillGraph(); err != nil {
+			return false, fmt.Errorf("minoaner: compaction: %w", err)
+		}
+		if err := st.Compact(); err != nil {
+			return false, fmt.Errorf("minoaner: compaction: store compact: %w", err)
+		}
+	}
 	return true, nil
 }
 
@@ -1533,9 +1794,11 @@ func filterAliveSteps(steps []core.Step, col *kb.Collection) []core.Step {
 	return kept
 }
 
+// ref builds the stable reference of an id from the always-hot KB and
+// URI arrays — never from Desc, which in store mode would page a whole
+// body in just to read two fields every result row repeats.
 func (p *Pipeline) ref(id int) Ref {
-	d := p.col.Desc(id)
-	return Ref{KB: d.KB, URI: d.URI}
+	return Ref{KB: p.col.KBName(p.col.KBOf(id)), URI: p.col.URIOf(id)}
 }
 
 func bruteForce(c *kb.Collection) int {
