@@ -9,6 +9,7 @@
 package minoaner_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -522,7 +523,7 @@ func BenchmarkMapReduceWordShuffle(b *testing.B) {
 	cfg := mapreduce.Config{Workers: 4}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := parblock.TokenBlocking(w.Collection, opts, cfg); err != nil {
+		if _, err := parblock.TokenBlocking(context.Background(), w.Collection, opts, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -1394,4 +1395,166 @@ func BenchmarkPR9Artifact(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Log("wrote BENCH_pr9.json")
+}
+
+type pr10Ingest struct {
+	Runner     string `json:"runner"`
+	NsPerBatch int64  `json:"nsPerBatch"`
+}
+
+type pr10Dispatch struct {
+	Runner    string `json:"runner"`
+	NsPerTask int64  `json:"nsPerTask"`
+}
+
+var pr10Written bool
+
+// BenchmarkPR10Artifact regenerates BENCH_pr10.json, the distributed-
+// execution perf record: streamed MapReduce-engine ingest throughput on
+// the in-process runner vs a two-worker subprocess pool (the acceptance
+// criterion reads off procIngestOverLocal <= 2.5), the shuffle bytes
+// both runs put across the map→reduce boundary (asserted equal — the
+// gauge is runner-independent), and the per-task dispatch overhead the
+// pipe protocol adds over a direct call. Regenerate the committed copy
+// locally with
+//
+//	go test -run='^$' -bench=PR10Artifact -benchtime=1x
+//
+// Timings vary with hardware; the bit-identity guarantees live in the
+// process-boundary differential suite, not here.
+func BenchmarkPR10Artifact(b *testing.B) {
+	if pr10Written { // the harness re-enters with growing b.N; once is enough
+		return
+	}
+	pr10Written = true
+
+	var art struct {
+		SessionIngest       []pr10Ingest   `json:"sessionIngest"`
+		ProcIngestOverLocal float64        `json:"procIngestOverLocal"`
+		ShuffleBytes        int64          `json:"shuffleBytes"`
+		Dispatch            []pr10Dispatch `json:"dispatch"`
+		DispatchOverheadNs  int64          `json:"dispatchOverheadNs"`
+	}
+
+	// Streamed ingest through the MapReduce engine: the same batches on
+	// the in-process runner and on a two-worker subprocess pool. Runners
+	// run paired inside each iteration and the headline ratio is the
+	// median of per-iteration ratios, so machine-load drift — which moves
+	// both sides of a pair together — cancels out of it.
+	all := streamDescriptions(benchWorld(b, 300))
+	seed := len(all) / 2
+	batches := (len(all) - seed + 9) / 10
+	stream := func(runner string) (time.Duration, int64) {
+		cfg := minoaner.Defaults()
+		cfg.Workers = 2
+		cfg.MapReduce = true
+		cfg.MRRunner = runner
+		p := minoaner.New(cfg)
+		if err := p.Add(all[:seed]); err != nil {
+			b.Fatal(err)
+		}
+		sess, err := p.Start()
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		for lo := seed; lo < len(all); lo += 10 {
+			hi := lo + 10
+			if hi > len(all) {
+				hi = len(all)
+			}
+			if err := sess.Ingest(all[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		shuffle := sess.Gauges().MRShuffleBytes
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return elapsed, shuffle
+	}
+	best := map[string]time.Duration{}
+	shuffle := map[string]int64{}
+	var ratios []float64
+	const iters = 7
+	for i := 0; i < iters; i++ {
+		var local, proc time.Duration
+		for _, runner := range []string{"local", "proc"} {
+			elapsed, sh := stream(runner)
+			shuffle[runner] = sh
+			if runner == "local" {
+				local = elapsed
+			} else {
+				proc = elapsed
+			}
+			if cur, ok := best[runner]; !ok || elapsed < cur {
+				best[runner] = elapsed
+			}
+		}
+		if i == 0 {
+			continue // warm-up pair: binaries, page cache, allocator settling
+		}
+		ratios = append(ratios, float64(proc)/float64(local))
+	}
+	for _, runner := range []string{"local", "proc"} {
+		art.SessionIngest = append(art.SessionIngest, pr10Ingest{
+			Runner: runner, NsPerBatch: best[runner].Nanoseconds() / int64(batches),
+		})
+	}
+	sort.Float64s(ratios)
+	art.ProcIngestOverLocal = ratios[len(ratios)/2]
+	if art.ProcIngestOverLocal > 2.5 {
+		b.Fatalf("proc-runner ingest overhead %.2fx exceeds the 2.5x budget", art.ProcIngestOverLocal)
+	}
+	if shuffle["local"] != shuffle["proc"] || shuffle["local"] == 0 {
+		b.Fatalf("shuffle bytes not runner-independent: local %d, proc %d",
+			shuffle["local"], shuffle["proc"])
+	}
+	art.ShuffleBytes = shuffle["local"]
+
+	// Per-task dispatch overhead: a registered near-empty job (one
+	// record, one key) timed per round trip. Each run is one map task
+	// plus one reduce task, so per-task cost is elapsed over 2·runs; the
+	// proc−local gap is what a frame round trip through a pooled worker
+	// costs over a direct call.
+	dispatchJob, err := mapreduce.NewJob("purge-histogram", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := mapreduce.NewProcRunner()
+	defer pool.Close()
+	tiny := []string{"3"}
+	const runs = 300
+	perTask := map[string]int64{}
+	for _, rn := range []struct {
+		name string
+		cfg  mapreduce.Config
+	}{
+		{"local", mapreduce.Config{Workers: 1}},
+		{"proc", mapreduce.Config{Workers: 1, Runner: pool}},
+	} {
+		// One warm-up run spawns the pool's worker outside the timing.
+		if _, err := mapreduce.Run(dispatchJob, tiny, rn.cfg); err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			if _, err := mapreduce.Run(dispatchJob, tiny, rn.cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		perTask[rn.name] = time.Since(start).Nanoseconds() / (2 * runs)
+		art.Dispatch = append(art.Dispatch, pr10Dispatch{Runner: rn.name, NsPerTask: perTask[rn.name]})
+	}
+	art.DispatchOverheadNs = perTask["proc"] - perTask["local"]
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pr10.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("wrote BENCH_pr10.json")
 }

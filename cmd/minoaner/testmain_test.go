@@ -1,0 +1,17 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/mapreduce"
+)
+
+// TestMain doubles this test binary as a MapReduce worker: a spawned
+// copy serves the task protocol instead of re-running the suite, and
+// the parent points the ProcRunner at itself — so the serve tests can
+// exercise -mr-runner proc without the real minoaner binary on disk.
+func TestMain(m *testing.M) {
+	mapreduce.InitTestWorker()
+	os.Exit(m.Run())
+}

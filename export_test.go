@@ -1,0 +1,9 @@
+package minoaner
+
+import "repro/internal/mapreduce"
+
+// MRProcRunner exposes the pipeline's shared worker pool to tests —
+// the fault-injection hooks (KillNextTask) and the Spawned gauge live
+// on the runner, and the differential matrix needs to reach them
+// through the public API surface it exercises.
+func (p *Pipeline) MRProcRunner() *mapreduce.ProcRunner { return p.mrProc }

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -345,17 +346,17 @@ func T5Parallel(seed int64, n int, workers []int) *Table {
 	for _, wk := range workers {
 		cfg := mapreduce.Config{Workers: wk}
 		t0 := time.Now()
-		col, err := parblock.TokenBlocking(w.Collection, tokenize.Default(), cfg)
+		col, err := parblock.TokenBlocking(context.Background(), w.Collection, tokenize.Default(), cfg)
 		if err != nil {
 			panic(err)
 		}
 		t1 := time.Now()
-		g, err := parblock.Graph(col, metablocking.ECBS, cfg)
+		g, err := parblock.Graph(context.Background(), col, metablocking.ECBS, cfg)
 		if err != nil {
 			panic(err)
 		}
 		t2 := time.Now()
-		if _, err = parblock.PruneNodeCentric(g, metablocking.WNP, metablocking.PruneOptions{}, cfg); err != nil {
+		if _, err = parblock.PruneNodeCentric(context.Background(), g, metablocking.WNP, metablocking.PruneOptions{}, cfg); err != nil {
 			panic(err)
 		}
 		t3 := time.Now()

@@ -1,13 +1,21 @@
-// Package mapreduce is a deterministic in-process MapReduce engine.
-// It stands in for the Hadoop cluster the paper's blocking and
-// meta-blocking layers run on ([4], [5]): jobs are expressed as
-// map / combine / partition / reduce functions, executed by a
-// configurable pool of workers with a real shuffle phase, so the
-// parallel algorithms exercise the same dataflow they would on a
-// cluster — at laptop scale and bit-for-bit reproducibly.
+// Package mapreduce is a deterministic MapReduce engine with a
+// pluggable execution layer. It stands in for the Hadoop cluster the
+// paper's blocking and meta-blocking layers run on ([4], [5]): jobs
+// are expressed as map / combine / partition / reduce functions, and a
+// run is split into a deterministic *plan* — input splits, shuffle
+// partitions, the map/reduce task list — executed by a Runner. The
+// LocalRunner executes tasks on in-process goroutines (the single-node
+// fast path); the ProcRunner ships the same tasks to `minoaner worker`
+// subprocesses over a CRC-framed pipe protocol, which forces the
+// serialization, skew, and retry design multi-node needs. Output is
+// bit-identical across runners and worker counts: partitioning is by
+// key hash, groups are value-sorted, reduce keys are sorted, and the
+// final output is globally sorted — nothing observable depends on
+// scheduling order.
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,8 +23,8 @@ import (
 
 // KV is one key–value record flowing between phases.
 type KV struct {
-	Key   string
-	Value string
+	Key   string `json:"k"`
+	Value string `json:"v"`
 }
 
 // MapFunc consumes one input record and emits intermediate KVs.
@@ -33,6 +41,18 @@ type Config struct {
 	// Partitions is the number of shuffle partitions
 	// (default = Workers).
 	Partitions int
+	// Runner executes the plan's tasks (default LocalRunner). The plan
+	// — splits, partitions, shuffle, final sort — is runner-independent,
+	// so swapping runners cannot change the output.
+	Runner Runner
+	// MaxAttempts is the per-task dispatch budget: a task whose worker
+	// dies (*WorkerError) is re-dispatched until it succeeds or the
+	// budget is spent (default 3). Job errors never retry.
+	MaxAttempts int
+	// Totals, when non-nil, additionally accumulates every run's
+	// counters — a pipeline-lifetime aggregate across jobs, where
+	// Result.Counters is per-run.
+	Totals *Counters
 }
 
 func (c Config) withDefaults() Config {
@@ -41,6 +61,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Partitions <= 0 {
 		c.Partitions = c.Workers
+	}
+	if c.Runner == nil {
+		c.Runner = LocalRunner{}
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
 	}
 	return c
 }
@@ -53,6 +79,10 @@ type Job struct {
 	// before the shuffle, like a Hadoop combiner. May be nil.
 	Combine ReduceFunc
 	Reduce  ReduceFunc
+	// Spec names the job in the process-boundary registry. Jobs built
+	// by NewJob carry it; ad-hoc closure jobs (tests) leave it zero and
+	// run only on in-process runners.
+	Spec JobSpec
 }
 
 // Counters collects named metrics across tasks, like Hadoop counters.
@@ -95,131 +125,112 @@ type Result struct {
 	// deterministic regardless of worker count.
 	Output []KV
 	// Counters aggregates the engine's built-in metrics:
-	// "map.in", "map.out", "shuffle.keys", "reduce.out".
+	// "map.in", "map.out", "shuffle.keys", "shuffle.bytes",
+	// "reduce.out", plus "task.retries" when workers failed.
 	Counters *Counters
 }
 
 // Run executes the job over the inputs. The engine guarantees that the
-// output is identical for any worker count: partitioning is by key
-// hash, groups are value-sorted before reduction, and the final output
-// is globally sorted.
+// output is identical for any worker count and any Runner: partitioning
+// is by key hash, groups are value-sorted before reduction, and the
+// final output is globally sorted.
 func Run(job Job, inputs []string, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), job, inputs, cfg)
+}
+
+// RunContext is Run with cancellation: a cancelled context stops
+// in-flight tasks at the next record-stride check and the run returns
+// ctx.Err().
+func RunContext(ctx context.Context, job Job, inputs []string, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if job.Map == nil || job.Reduce == nil {
 		return nil, fmt.Errorf("mapreduce: job %q needs Map and Reduce", job.Name)
 	}
 	counters := &Counters{}
 
-	// --- Map phase -------------------------------------------------
-	// Inputs are dealt round-robin into one split per worker.
+	// --- Plan: map tasks --------------------------------------------
+	// Inputs are dealt round-robin into one split per worker. The deal
+	// is part of the plan, not the runner: a combiner's output depends
+	// on which records share a split, so split composition must not
+	// move when the runner changes.
 	splits := make([][]string, cfg.Workers)
 	for i, in := range inputs {
 		w := i % cfg.Workers
 		splits[w] = append(splits[w], in)
 	}
-	// Each map task partitions its emissions by key hash.
-	type taskOut struct {
-		parts [][]KV
-		err   error
-	}
-	outs := make([]taskOut, cfg.Workers)
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			parts := make([][]KV, cfg.Partitions)
-			emit := func(kv KV) {
-				p := Partition(kv.Key, cfg.Partitions)
-				parts[p] = append(parts[p], kv)
-			}
-			for _, in := range splits[w] {
-				counters.Add("map.in", 1)
-				if err := job.Map(in, emit); err != nil {
-					outs[w].err = fmt.Errorf("mapreduce: %s map: %w", job.Name, err)
-					return
-				}
-			}
-			if job.Combine != nil {
-				for p := range parts {
-					combined, err := combine(job.Combine, parts[p])
-					if err != nil {
-						outs[w].err = fmt.Errorf("mapreduce: %s combine: %w", job.Name, err)
-						return
-					}
-					parts[p] = combined
-				}
-			}
-			for _, p := range parts {
-				counters.Add("map.out", int64(len(p)))
-			}
-			outs[w].parts = parts
-		}(w)
-	}
-	wg.Wait()
-	for _, o := range outs {
-		if o.err != nil {
-			return nil, o.err
+	var mapTasks []*Task
+	for w, split := range splits {
+		if len(split) == 0 {
+			continue // an empty split emits nothing; skip the dispatch
 		}
+		mapTasks = append(mapTasks, &Task{
+			Job:        job,
+			Kind:       MapTask,
+			ID:         w,
+			Partitions: cfg.Partitions,
+			Inputs:     split,
+		})
 	}
 
-	// --- Shuffle phase ---------------------------------------------
+	// --- Map phase ---------------------------------------------------
+	mapOuts, err := runTasks(ctx, cfg.Runner, cfg, counters, mapTasks)
+	if err != nil {
+		return nil, finishErr(cfg, counters, err)
+	}
+
+	// --- Shuffle phase ----------------------------------------------
 	// Merge every map task's slice for each partition, then group by
-	// key with values sorted (determinism).
+	// key with values sorted (determinism). shuffle.bytes counts the
+	// key+value bytes crossing the map→reduce boundary — the traffic a
+	// distributed shuffle would put on the wire — and is
+	// runner-independent, so local and proc runs report comparably.
 	groups := make([]map[string][]string, cfg.Partitions)
 	for p := 0; p < cfg.Partitions; p++ {
 		g := make(map[string][]string)
-		for w := 0; w < cfg.Workers; w++ {
-			if outs[w].parts == nil {
-				continue
-			}
-			for _, kv := range outs[w].parts[p] {
+		var bytes int64
+		for _, out := range mapOuts {
+			for _, kv := range out.Parts[p] {
 				g[kv.Key] = append(g[kv.Key], kv.Value)
+				bytes += int64(len(kv.Key) + len(kv.Value))
 			}
 		}
 		for _, vs := range g {
 			sort.Strings(vs)
 		}
 		counters.Add("shuffle.keys", int64(len(g)))
+		counters.Add("shuffle.bytes", bytes)
 		groups[p] = g
 	}
 
-	// --- Reduce phase ----------------------------------------------
-	type redOut struct {
-		kvs []KV
-		err error
-	}
-	reds := make([]redOut, cfg.Partitions)
-	sem := make(chan struct{}, cfg.Workers)
-	var rwg sync.WaitGroup
+	// --- Plan: reduce tasks -----------------------------------------
+	var redTasks []*Task
 	for p := 0; p < cfg.Partitions; p++ {
-		rwg.Add(1)
-		go func(p int) {
-			defer rwg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			keys := make([]string, 0, len(groups[p]))
-			for k := range groups[p] {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			emit := func(kv KV) { reds[p].kvs = append(reds[p].kvs, kv) }
-			for _, k := range keys {
-				if err := job.Reduce(k, groups[p][k], emit); err != nil {
-					reds[p].err = fmt.Errorf("mapreduce: %s reduce: %w", job.Name, err)
-					return
-				}
-			}
-		}(p)
+		if len(groups[p]) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(groups[p]))
+		for k := range groups[p] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		redTasks = append(redTasks, &Task{
+			Job:    job,
+			Kind:   ReduceTask,
+			ID:     p,
+			Keys:   keys,
+			Groups: groups[p],
+		})
 	}
-	rwg.Wait()
+
+	// --- Reduce phase ------------------------------------------------
+	redOuts, err := runTasks(ctx, cfg.Runner, cfg, counters, redTasks)
+	if err != nil {
+		return nil, finishErr(cfg, counters, err)
+	}
 
 	var out []KV
-	for _, r := range reds {
-		if r.err != nil {
-			return nil, r.err
-		}
-		out = append(out, r.kvs...)
+	for _, r := range redOuts {
+		out = append(out, r.KVs...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Key != out[j].Key {
@@ -228,7 +239,27 @@ func Run(job Job, inputs []string, cfg Config) (*Result, error) {
 		return out[i].Value < out[j].Value
 	})
 	counters.Add("reduce.out", int64(len(out)))
+	mergeTotals(cfg, counters)
 	return &Result{Output: out, Counters: counters}, nil
+}
+
+// mergeTotals folds a run's counters into the config's lifetime
+// aggregate, when one is attached.
+func mergeTotals(cfg Config, counters *Counters) {
+	if cfg.Totals == nil {
+		return
+	}
+	for name, v := range counters.Snapshot() {
+		cfg.Totals.Add(name, v)
+	}
+}
+
+// finishErr merges whatever counters a failed run accumulated (retries
+// especially — a run that died of an exhausted budget should still
+// show its retry burn in the totals) and returns the error.
+func finishErr(cfg Config, counters *Counters, err error) error {
+	mergeTotals(cfg, counters)
+	return err
 }
 
 // combine groups a single map task's emissions by key and runs the
@@ -258,11 +289,16 @@ func combine(fn ReduceFunc, kvs []KV) ([]KV, error) {
 // Chain runs a sequence of jobs, feeding each job's output keys+values
 // to the next as "key\x00value" input records. Decode with SplitRecord.
 func Chain(jobs []Job, inputs []string, cfg Config) (*Result, error) {
+	return ChainContext(context.Background(), jobs, inputs, cfg)
+}
+
+// ChainContext is Chain with cancellation.
+func ChainContext(ctx context.Context, jobs []Job, inputs []string, cfg Config) (*Result, error) {
 	cur := inputs
 	var res *Result
 	for _, j := range jobs {
 		var err error
-		res, err = Run(j, cur, cfg)
+		res, err = RunContext(ctx, j, cur, cfg)
 		if err != nil {
 			return nil, err
 		}

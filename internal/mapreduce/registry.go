@@ -1,0 +1,66 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+)
+
+// JobSpec names a registered job plus the parameters its factory needs
+// to rebuild it — the only job identity that crosses a process
+// boundary. Map/reduce closures can't travel; a worker re-resolves the
+// spec through the registry and reconstructs the same functions.
+type JobSpec struct {
+	// Name is the registry key.
+	Name string `json:"name"`
+	// Params is the factory's opaque parameter blob (conventionally
+	// JSON). It must fully determine the job's behavior: two workers
+	// given the same spec must build functionally identical jobs.
+	Params string `json:"params,omitempty"`
+}
+
+// JobFactory rebuilds a job from its serialized parameters.
+type JobFactory func(params string) (Job, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]JobFactory)
+)
+
+// Register installs a job factory under a name, typically from an
+// init func of the package that owns the job (internal/parblock). It
+// panics on an empty name or a duplicate — both are programmer errors
+// that would otherwise surface as confusing worker-side failures.
+func Register(name string, factory JobFactory) {
+	if name == "" || factory == nil {
+		panic("mapreduce: Register needs a name and a factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("mapreduce: job %q registered twice", name))
+	}
+	registry[name] = factory
+}
+
+// NewJob resolves a registered factory and builds the job, stamping
+// the spec so the job can cross process boundaries. Drivers build
+// their jobs through this even for local runs — the same construction
+// path on both sides of the pipe is what makes the differential tests
+// meaningful.
+func NewJob(name, params string) (Job, error) {
+	registryMu.RLock()
+	factory := registry[name]
+	registryMu.RUnlock()
+	if factory == nil {
+		return Job{}, fmt.Errorf("mapreduce: job %q not registered", name)
+	}
+	job, err := factory(params)
+	if err != nil {
+		return Job{}, fmt.Errorf("mapreduce: job %q factory: %w", name, err)
+	}
+	job.Spec = JobSpec{Name: name, Params: params}
+	if job.Name == "" {
+		job.Name = name
+	}
+	return job, nil
+}

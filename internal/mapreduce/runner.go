@@ -1,0 +1,351 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// TaskKind distinguishes the two task shapes a plan produces.
+type TaskKind int
+
+const (
+	// MapTask consumes one input split and emits partitioned KVs.
+	MapTask TaskKind = iota + 1
+	// ReduceTask consumes one shuffle partition's grouped keys.
+	ReduceTask
+)
+
+// String returns the task kind's wire spelling.
+func (k TaskKind) String() string {
+	switch k {
+	case MapTask:
+		return "map"
+	case ReduceTask:
+		return "reduce"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Task is one schedulable unit of a job plan: a map task over one
+// input split, or a reduce task over one shuffle partition. Tasks are
+// self-contained — everything the worker needs travels inside (for a
+// process-boundary runner, as the job's registry Spec plus the data) —
+// so a task can be re-dispatched to a fresh worker after a failure
+// without coordinator state.
+type Task struct {
+	// Job is the resolved job. Runners that cross a process boundary
+	// ship Job.Spec and re-resolve from the registry on the far side;
+	// the function fields never travel.
+	Job Job
+	// Kind selects the task shape.
+	Kind TaskKind
+	// ID is the task's index in its phase: the split index for map
+	// tasks, the partition index for reduce tasks.
+	ID int
+	// Partitions is the shuffle fan-out a map task partitions its
+	// emissions into.
+	Partitions int
+	// Inputs is a map task's input split.
+	Inputs []string
+	// Keys is a reduce task's sorted key list; Groups holds each key's
+	// value-sorted group.
+	Keys   []string
+	Groups map[string][]string
+}
+
+// weight is the task's scheduling weight — the coordinator dispatches
+// heaviest-first so a skewed split or partition starts earliest and
+// the tail of the phase is short.
+func (t *Task) weight() int {
+	if t.Kind == MapTask {
+		return len(t.Inputs)
+	}
+	n := 0
+	for _, vs := range t.Groups {
+		n += len(vs)
+	}
+	return n
+}
+
+// TaskOut is one completed task's output: per-partition emissions for
+// a map task, output KVs for a reduce task, plus the counters the task
+// accumulated. Counters ride inside the result — not a shared object —
+// so a retried task's first, failed attempt never double-counts.
+type TaskOut struct {
+	Parts    [][]KV           `json:"parts,omitempty"`
+	KVs      []KV             `json:"kvs,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Runner executes one task and returns its output. Implementations:
+// LocalRunner (in-process, the fast path), ProcRunner (worker
+// subprocesses over the framed stdin/stdout protocol), FlakyRunner
+// (fault injection for tests). A Runner must be safe for concurrent
+// RunTask calls; the coordinator dispatches up to Config.Workers tasks
+// at once.
+//
+// Error contract: a *WorkerError means the worker died or the
+// transport broke — the task did not observably run, and the
+// coordinator re-dispatches it (on a fresh worker) within the attempt
+// budget. Any other error is the job's own (a Map/Reduce function
+// failed): deterministic, so retrying cannot help, and the run fails
+// fast.
+type Runner interface {
+	RunTask(ctx context.Context, t *Task) (*TaskOut, error)
+}
+
+// WorkerError reports a worker-side failure the task itself did not
+// cause: the process died, the pipe broke, a protocol frame was torn
+// or corrupted. Retryable — the coordinator reassigns the task to a
+// fresh worker. Test with errors.As.
+type WorkerError struct {
+	Err error
+}
+
+func (e *WorkerError) Error() string { return "mapreduce: worker failed: " + e.Err.Error() }
+
+// Unwrap exposes the underlying transport or process error.
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// ErrRetriesExhausted reports a task that failed with worker errors on
+// every attempt of its budget (Config.MaxAttempts). The returned error
+// wraps it together with the last worker error; test with errors.Is.
+var ErrRetriesExhausted = errors.New("mapreduce: task retry budget exhausted")
+
+// ctxCheckStride is how many records a task processes between
+// cancellation checks — frequent enough that a cancelled dataflow pass
+// stops promptly, cheap enough to vanish in the record loop.
+const ctxCheckStride = 256
+
+// LocalRunner executes tasks in-process on the calling goroutine —
+// the single-node fast path, and the reference the process-boundary
+// runners are differentially tested against. The zero value is ready
+// to use; it is also what Run uses when Config.Runner is nil.
+type LocalRunner struct{}
+
+// RunTask implements Runner.
+func (LocalRunner) RunTask(ctx context.Context, t *Task) (*TaskOut, error) {
+	return execTask(ctx, t)
+}
+
+// execTask runs one task's user code — shared by LocalRunner and the
+// worker process, so both sides of the process boundary execute tasks
+// identically.
+func execTask(ctx context.Context, t *Task) (*TaskOut, error) {
+	switch t.Kind {
+	case MapTask:
+		return execMapTask(ctx, t)
+	case ReduceTask:
+		return execReduceTask(ctx, t)
+	}
+	return nil, fmt.Errorf("mapreduce: unknown task kind %d", int(t.Kind))
+}
+
+func execMapTask(ctx context.Context, t *Task) (*TaskOut, error) {
+	if t.Job.Map == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no Map", t.Job.Name)
+	}
+	out := &TaskOut{
+		Parts:    make([][]KV, t.Partitions),
+		Counters: make(map[string]int64),
+	}
+	emit := func(kv KV) {
+		p := Partition(kv.Key, t.Partitions)
+		out.Parts[p] = append(out.Parts[p], kv)
+	}
+	for i, in := range t.Inputs {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		out.Counters["map.in"]++
+		if err := t.Job.Map(in, emit); err != nil {
+			return nil, fmt.Errorf("mapreduce: %s map: %w", t.Job.Name, err)
+		}
+	}
+	if t.Job.Combine != nil {
+		for p := range out.Parts {
+			combined, err := combine(t.Job.Combine, out.Parts[p])
+			if err != nil {
+				return nil, fmt.Errorf("mapreduce: %s combine: %w", t.Job.Name, err)
+			}
+			out.Parts[p] = combined
+		}
+	}
+	for _, p := range out.Parts {
+		out.Counters["map.out"] += int64(len(p))
+	}
+	return out, nil
+}
+
+func execReduceTask(ctx context.Context, t *Task) (*TaskOut, error) {
+	if t.Job.Reduce == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no Reduce", t.Job.Name)
+	}
+	out := &TaskOut{Counters: make(map[string]int64)}
+	emit := func(kv KV) { out.KVs = append(out.KVs, kv) }
+	for i, k := range t.Keys {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := t.Job.Reduce(k, t.Groups[k], emit); err != nil {
+			return nil, fmt.Errorf("mapreduce: %s reduce: %w", t.Job.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// FlakyRunner is the fault-injection runner: it wraps another runner
+// and simulates worker deaths on chosen dispatch attempts, so tests
+// can prove retried runs stay bit-identical and exhausted budgets
+// surface cleanly. Not for production use.
+type FlakyRunner struct {
+	// Inner executes the tasks that survive injection (nil =
+	// LocalRunner).
+	Inner Runner
+	// FailTask decides, per dispatch attempt, whether the simulated
+	// worker dies instead of running the task. seq counts every RunTask
+	// call across the runner's lifetime (retries included), so a plan
+	// like seq == K kills exactly one attempt and the retry proceeds.
+	FailTask func(seq int64, t *Task) bool
+	// RunFirst, when set, executes the task before failing it and
+	// discards the output — the torn-result shape: the worker did the
+	// work but its reply never arrived intact.
+	RunFirst bool
+
+	seq atomic.Int64
+}
+
+// RunTask implements Runner.
+func (f *FlakyRunner) RunTask(ctx context.Context, t *Task) (*TaskOut, error) {
+	inner := f.Inner
+	if inner == nil {
+		inner = LocalRunner{}
+	}
+	seq := f.seq.Add(1) - 1
+	if f.FailTask != nil && f.FailTask(seq, t) {
+		if f.RunFirst {
+			if _, err := inner.RunTask(ctx, t); err != nil {
+				return nil, err
+			}
+		}
+		return nil, &WorkerError{Err: fmt.Errorf("flaky: injected worker death (attempt %d, %s task %d)", seq, t.Kind, t.ID)}
+	}
+	return inner.RunTask(ctx, t)
+}
+
+// Attempts reports how many task dispatches the runner has seen.
+func (f *FlakyRunner) Attempts() int64 { return f.seq.Load() }
+
+// runTasks dispatches a phase's tasks through the runner: heaviest
+// task first (skew-aware — a fat split starts before the thin ones, so
+// it never becomes the phase's lonely tail), at most cfg.Workers in
+// flight, each task retried on worker failure within the attempt
+// budget. Outputs land at each task's own index. The first error is
+// returned after every in-flight task settles; a done ctx wins over
+// task errors so a cancelled run reports ctx.Err().
+func runTasks(ctx context.Context, r Runner, cfg Config, counters *Counters, tasks []*Task) ([]*TaskOut, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return tasks[order[a]].weight() > tasks[order[b]].weight()
+	})
+
+	outs := make([]*TaskOut, len(tasks))
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	aborted := func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	var next atomic.Int64
+	next.Store(-1)
+	workers := cfg.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(order) || aborted() {
+					return
+				}
+				idx := order[i]
+				out, err := runWithRetry(ctx, r, cfg, counters, tasks[idx])
+				if err != nil {
+					fail(err)
+					return
+				}
+				outs[idx] = out
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outs, nil
+}
+
+// runWithRetry is the per-task attempt loop: worker failures (a dead
+// process, a torn frame) re-dispatch the task — on a pooled runner, to
+// a fresh worker — until the budget runs out; job errors fail
+// immediately, since re-running deterministic user code re-fails.
+func runWithRetry(ctx context.Context, r Runner, cfg Config, counters *Counters, t *Task) (*TaskOut, error) {
+	var lastErr error
+	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+		out, err := r.RunTask(ctx, t)
+		if err == nil {
+			for name, v := range out.Counters {
+				counters.Add(name, v)
+			}
+			return out, nil
+		}
+		var we *WorkerError
+		if !errors.As(err, &we) {
+			return nil, err // the job's own failure: deterministic, no retry
+		}
+		lastErr = err
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt < cfg.MaxAttempts {
+			counters.Add("task.retries", 1)
+		}
+	}
+	return nil, fmt.Errorf("%w: %s task %d of %s failed %d attempts: %v",
+		ErrRetriesExhausted, t.Kind, t.ID, t.Job.Name, cfg.MaxAttempts, lastErr)
+}

@@ -1,6 +1,8 @@
 package parblock
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -22,26 +24,17 @@ import (
 // the cap is identical. The keep pass routes each surviving block by
 // its padded index; the shuffle's key order is the original block
 // order, so the output collection equals Collection.Purge.
-func Purge(col *blocking.Collection, maxSize int, cfg mapreduce.Config) (*blocking.Collection, error) {
-	inputs := make([]string, len(col.Blocks))
-	for i := range inputs {
-		inputs[i] = strconv.Itoa(i)
-	}
+func Purge(ctx context.Context, col *blocking.Collection, maxSize int, cfg mapreduce.Config) (*blocking.Collection, error) {
 	if maxSize <= 0 {
-		hist := mapreduce.Job{
-			Name: "purge-histogram",
-			Map: func(input string, emit func(mapreduce.KV)) error {
-				bi, err := strconv.Atoi(input)
-				if err != nil {
-					return fmt.Errorf("bad block record %q: %w", input, err)
-				}
-				emit(mapreduce.KV{Key: pad(col.Blocks[bi].Size()), Value: "1"})
-				return nil
-			},
-			Combine: sumValues,
-			Reduce:  sumValues,
+		inputs := make([]string, len(col.Blocks))
+		for i := range inputs {
+			inputs[i] = strconv.Itoa(col.Blocks[i].Size())
 		}
-		res, err := mapreduce.Run(hist, inputs, cfg)
+		hist, err := mapreduce.NewJob("purge-histogram", "")
+		if err != nil {
+			return nil, err
+		}
+		res, err := mapreduce.RunContext(ctx, hist, inputs, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -60,24 +53,15 @@ func Purge(col *blocking.Collection, maxSize int, cfg mapreduce.Config) (*blocki
 		maxSize = blocking.AutoPurgeSizeFromHistogram(sizes)
 	}
 
-	keep := mapreduce.Job{
-		Name: "purge-keep",
-		Map: func(input string, emit func(mapreduce.KV)) error {
-			bi, err := strconv.Atoi(input)
-			if err != nil {
-				return fmt.Errorf("bad block record %q: %w", input, err)
-			}
-			if col.Blocks[bi].Size() <= maxSize {
-				emit(mapreduce.KV{Key: pad(bi), Value: ""})
-			}
-			return nil
-		},
-		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
-			emit(mapreduce.KV{Key: key, Value: ""})
-			return nil
-		},
+	inputs := make([]string, len(col.Blocks))
+	for i := range inputs {
+		inputs[i] = strconv.Itoa(i) + "|" + strconv.Itoa(col.Blocks[i].Size())
 	}
-	res, err := mapreduce.Run(keep, inputs, cfg)
+	keep, err := mapreduce.NewJob("purge-keep", jsonParams(purgeKeepParams{Max: maxSize}))
+	if err != nil {
+		return nil, err
+	}
+	res, err := mapreduce.RunContext(ctx, keep, inputs, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -114,31 +98,20 @@ func sumValues(key string, values []string, emit func(mapreduce.KV)) error {
 // ones (its value list arrives rank-sorted) and re-emits them keyed by
 // block; the driver reassembles the surviving blocks in block order.
 // Identical to Collection.Filter for any worker count.
-func Filter(col *blocking.Collection, ratio float64, cfg mapreduce.Config) (*blocking.Collection, error) {
+func Filter(ctx context.Context, col *blocking.Collection, ratio float64, cfg mapreduce.Config) (*blocking.Collection, error) {
 	if ratio <= 0 || ratio > 1 {
 		ratio = 0.8
 	}
 	inputs := make([]string, len(col.Blocks))
 	for i := range inputs {
-		inputs[i] = strconv.Itoa(i)
+		inputs[i] = strconv.Itoa(i) + "|" + strconv.Itoa(col.Blocks[i].Size())
 	}
 
-	rankJob := mapreduce.Job{
-		Name: "filter-rank",
-		Map: func(input string, emit func(mapreduce.KV)) error {
-			bi, err := strconv.Atoi(input)
-			if err != nil {
-				return fmt.Errorf("bad block record %q: %w", input, err)
-			}
-			emit(mapreduce.KV{Key: pad(col.Blocks[bi].Size()) + "|" + pad(bi), Value: ""})
-			return nil
-		},
-		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
-			emit(mapreduce.KV{Key: key, Value: ""})
-			return nil
-		},
+	rankJob, err := mapreduce.NewJob("filter-rank", "")
+	if err != nil {
+		return nil, err
 	}
-	ranked, err := mapreduce.Run(rankJob, inputs, cfg)
+	ranked, err := mapreduce.RunContext(ctx, rankJob, inputs, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -155,35 +128,19 @@ func Filter(col *blocking.Collection, ratio float64, cfg mapreduce.Config) (*blo
 		rank[bi] = r
 	}
 
-	assignJob := mapreduce.Job{
-		Name: "filter-assign",
-		Map: func(input string, emit func(mapreduce.KV)) error {
-			bi, err := strconv.Atoi(input)
-			if err != nil {
-				return fmt.Errorf("bad block record %q: %w", input, err)
-			}
-			for _, id := range col.Blocks[bi].Entities {
-				emit(mapreduce.KV{Key: pad(id), Value: pad(rank[bi]) + "|" + pad(bi)})
-			}
-			return nil
-		},
-		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
-			// Values are "rank|block" with fixed-width ranks: the
-			// shuffle's string sort is the ascending rank order, so the
-			// first ⌈ratio·n⌉ are exactly the blocks the sequential
-			// Filter keeps for this entity.
-			limit := blocking.FilterLimit(ratio, len(values))
-			for _, v := range values[:limit] {
-				sep := strings.IndexByte(v, '|')
-				if sep < 0 {
-					return fmt.Errorf("bad assignment %q", v)
-				}
-				emit(mapreduce.KV{Key: v[sep+1:], Value: key})
-			}
-			return nil
-		},
+	assignInputs := make([]string, len(col.Blocks))
+	for i := range col.Blocks {
+		enc, err := json.Marshal(assignInput{Block: i, Rank: rank[i], Entities: col.Blocks[i].Entities})
+		if err != nil {
+			return nil, fmt.Errorf("parblock: encode block %d: %w", i, err)
+		}
+		assignInputs[i] = string(enc)
 	}
-	res, err := mapreduce.Run(assignJob, inputs, cfg)
+	assignJob, err := mapreduce.NewJob("filter-assign", jsonParams(filterAssignParams{Ratio: ratio}))
+	if err != nil {
+		return nil, err
+	}
+	res, err := mapreduce.RunContext(ctx, assignJob, assignInputs, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package parblock
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -36,7 +37,7 @@ func TestDataflowPurgeMatchesSequential(t *testing.T) {
 		want := raw.Purge(maxSize)
 		for _, workers := range []int{1, 3, 8} {
 			label := fmt.Sprintf("purge=%d/workers=%d", maxSize, workers)
-			got, err := Purge(raw, maxSize, mapreduce.Config{Workers: workers})
+			got, err := Purge(context.Background(), raw, maxSize, mapreduce.Config{Workers: workers})
 			if err != nil {
 				t.Fatalf("%s: %v", label, err)
 			}
@@ -54,7 +55,7 @@ func TestDataflowFilterMatchesSequential(t *testing.T) {
 		want := purged.Filter(ratio)
 		for _, workers := range []int{1, 3, 8} {
 			label := fmt.Sprintf("filter=%.1f/workers=%d", ratio, workers)
-			got, err := Filter(purged, ratio, mapreduce.Config{Workers: workers})
+			got, err := Filter(context.Background(), purged, ratio, mapreduce.Config{Workers: workers})
 			if err != nil {
 				t.Fatalf("%s: %v", label, err)
 			}
@@ -70,22 +71,22 @@ func TestDataflowCleaningChain(t *testing.T) {
 	raw := blocking.TokenBlocking(w.Collection, tokenize.Default())
 	want := raw.Purge(0).Filter(0.8)
 	cfg := mapreduce.Config{Workers: 4}
-	purged, err := Purge(raw, 0, cfg)
+	purged, err := Purge(context.Background(), raw, 0, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Filter(purged, 0.8, cfg)
+	got, err := Filter(context.Background(), purged, 0.8, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sameBlocks(t, "chain", want, got)
 
 	empty := &blocking.Collection{Source: w.Collection, CleanClean: true}
-	ep, err := Purge(empty, 0, cfg)
+	ep, err := Purge(context.Background(), empty, 0, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ef, err := Filter(ep, 0.8, cfg)
+	ef, err := Filter(context.Background(), ep, 0.8, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,389 @@
+package parblock
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/blocking"
+	"repro/internal/mapreduce"
+	"repro/internal/metablocking"
+)
+
+// Every dataflow job is a registered factory with self-contained
+// inputs: the map/reduce functions close over nothing but the job's
+// parameters, so the identical job runs on an in-process runner or
+// inside a `minoaner worker` subprocess that holds none of the
+// driver's state. The drivers in this package serialize exactly what
+// each job needs — token lists, entity ids with KB tags, edge triples
+// — and job *outputs* are byte-identical to the closure-based
+// originals, which is what keeps the differential matrix meaningful
+// across runners.
+
+func init() {
+	mapreduce.Register("token-blocking", tokenBlockingJob)
+	mapreduce.Register("edge-weighting", edgeWeightingJob)
+	mapreduce.Register("node-pruning", nodePruningJob)
+	mapreduce.Register("purge-histogram", purgeHistogramJob)
+	mapreduce.Register("purge-keep", purgeKeepJob)
+	mapreduce.Register("filter-rank", filterRankJob)
+	mapreduce.Register("filter-assign", filterAssignJob)
+}
+
+// jsonParams marshals a factory's parameter struct; the parameter
+// types here are all marshalable by construction.
+func jsonParams(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("parblock: unmarshalable job params: " + err.Error())
+	}
+	return string(b)
+}
+
+// tokenInput is one live description's token evidence.
+type tokenInput struct {
+	ID     int      `json:"id"`
+	Tokens []string `json:"t"`
+}
+
+func tokenBlockingJob(string) (mapreduce.Job, error) {
+	return mapreduce.Job{
+		Name: "token-blocking",
+		Map: func(input string, emit func(mapreduce.KV)) error {
+			var rec tokenInput
+			if err := json.Unmarshal([]byte(input), &rec); err != nil {
+				return fmt.Errorf("bad input record %q: %w", input, err)
+			}
+			id := strconv.Itoa(rec.ID)
+			for _, tok := range rec.Tokens {
+				emit(mapreduce.KV{Key: tok, Value: id})
+			}
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
+			if len(values) < 2 {
+				return nil
+			}
+			emit(mapreduce.KV{Key: key, Value: strings.Join(values, ",")})
+			return nil
+		},
+	}, nil
+}
+
+// edgeBlockInput is one block: its sorted entity ids and — in
+// clean-clean settings — each entity's KB tag, so a worker recomputes
+// the block's comparison count and cross-KB tests without the
+// collection.
+type edgeBlockInput struct {
+	Entities []int `json:"e"`
+	KB       []int `json:"kb,omitempty"`
+}
+
+type edgeWeightParams struct {
+	Clean bool `json:"clean"`
+}
+
+// blockComparisons mirrors blocking.Block.Comparisons over shipped KB
+// tags: all pairs for dirty ER, cross-KB pairs only for clean-clean.
+// Integer math — identical on both sides of the process boundary.
+func blockComparisons(rec *edgeBlockInput, clean bool) int {
+	n := len(rec.Entities)
+	total := n * (n - 1) / 2
+	if !clean {
+		return total
+	}
+	perKB := make(map[int]int, 4)
+	for _, k := range rec.KB {
+		perKB[k]++
+	}
+	for _, k := range perKB {
+		total -= k * (k - 1) / 2
+	}
+	return total
+}
+
+func edgeWeightingJob(params string) (mapreduce.Job, error) {
+	var p edgeWeightParams
+	if params != "" {
+		if err := json.Unmarshal([]byte(params), &p); err != nil {
+			return mapreduce.Job{}, err
+		}
+	}
+	return mapreduce.Job{
+		Name: "edge-weighting",
+		Map: func(input string, emit func(mapreduce.KV)) error {
+			var rec edgeBlockInput
+			if err := json.Unmarshal([]byte(input), &rec); err != nil {
+				return fmt.Errorf("bad block record %q: %w", input, err)
+			}
+			if p.Clean && len(rec.KB) != len(rec.Entities) {
+				return fmt.Errorf("bad block record: %d entities, %d KB tags", len(rec.Entities), len(rec.KB))
+			}
+			cmp := blockComparisons(&rec, p.Clean)
+			if cmp == 0 {
+				return nil
+			}
+			inv := strconv.FormatFloat(1/float64(cmp), 'g', 17, 64)
+			for x := 0; x < len(rec.Entities); x++ {
+				for y := x + 1; y < len(rec.Entities); y++ {
+					a, bb := rec.Entities[x], rec.Entities[y]
+					if p.Clean && rec.KB[x] == rec.KB[y] {
+						continue
+					}
+					if a > bb {
+						a, bb = bb, a
+					}
+					// Entity-based strategy: the smaller endpoint's
+					// reducer owns the edge.
+					emit(mapreduce.KV{Key: pad(a), Value: pad(bb) + ":" + inv})
+				}
+			}
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
+			type acc struct {
+				cbs  int
+				arcs float64
+			}
+			bag := make(map[string]*acc)
+			for _, v := range values {
+				i := strings.IndexByte(v, ':')
+				if i < 0 {
+					return fmt.Errorf("bad co-occurrence record %q", v)
+				}
+				inv, err := strconv.ParseFloat(v[i+1:], 64)
+				if err != nil {
+					return fmt.Errorf("bad weight in %q: %w", v, err)
+				}
+				a := bag[v[:i]]
+				if a == nil {
+					a = &acc{}
+					bag[v[:i]] = a
+				}
+				a.cbs++
+				a.arcs += inv
+			}
+			for mate, a := range bag {
+				emit(mapreduce.KV{
+					Key:   key + "|" + mate,
+					Value: strconv.Itoa(a.cbs) + ":" + strconv.FormatFloat(a.arcs, 'g', 17, 64),
+				})
+			}
+			return nil
+		},
+	}, nil
+}
+
+type nodePruneParams struct {
+	Alg      int `json:"alg"`
+	KPerNode int `json:"k,omitempty"`
+}
+
+func nodePruningJob(params string) (mapreduce.Job, error) {
+	var p nodePruneParams
+	if err := json.Unmarshal([]byte(params), &p); err != nil {
+		return mapreduce.Job{}, err
+	}
+	alg := metablocking.Pruning(p.Alg)
+	if alg != metablocking.WNP && alg != metablocking.CNP {
+		return mapreduce.Job{}, fmt.Errorf("node-pruning: %v is not node-centric", alg)
+	}
+	type edge struct {
+		a, b int
+		w    float64
+	}
+	return mapreduce.Job{
+		Name: "node-pruning",
+		Map: func(input string, emit func(mapreduce.KV)) error {
+			parts := strings.SplitN(input, "|", 3)
+			if len(parts) != 3 {
+				return fmt.Errorf("bad edge record %q", input)
+			}
+			a, err1 := strconv.Atoi(parts[0])
+			b, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("bad edge record %q", input)
+			}
+			v := input
+			emit(mapreduce.KV{Key: pad(a), Value: v})
+			emit(mapreduce.KV{Key: pad(b), Value: v})
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
+			edges := make([]edge, 0, len(values))
+			sum := 0.0
+			for _, v := range values {
+				parts := strings.SplitN(v, "|", 3)
+				if len(parts) != 3 {
+					return fmt.Errorf("bad incident edge %q", v)
+				}
+				a, err1 := strconv.Atoi(parts[0])
+				b, err2 := strconv.Atoi(parts[1])
+				w, err3 := strconv.ParseFloat(parts[2], 64)
+				if err1 != nil || err2 != nil || err3 != nil {
+					return fmt.Errorf("bad incident edge %q", v)
+				}
+				edges = append(edges, edge{a, b, w})
+				sum += w
+			}
+			var retained []edge
+			switch alg {
+			case metablocking.WNP:
+				mean := sum / float64(len(edges))
+				for _, e := range edges {
+					if e.w >= mean {
+						retained = append(retained, e)
+					}
+				}
+			case metablocking.CNP:
+				// Descending weight, ties by ascending (a,b) — the
+				// sequential tie-break.
+				sort.Slice(edges, func(x, y int) bool {
+					if edges[x].w != edges[y].w {
+						return edges[x].w > edges[y].w
+					}
+					if edges[x].a != edges[y].a {
+						return edges[x].a < edges[y].a
+					}
+					return edges[x].b < edges[y].b
+				})
+				k := p.KPerNode
+				if k > len(edges) {
+					k = len(edges)
+				}
+				retained = edges[:k]
+			}
+			for _, e := range retained {
+				emit(mapreduce.KV{
+					Key:   pad(e.a) + "|" + pad(e.b),
+					Value: strconv.FormatFloat(e.w, 'g', 17, 64),
+				})
+			}
+			return nil
+		},
+	}, nil
+}
+
+func purgeHistogramJob(string) (mapreduce.Job, error) {
+	return mapreduce.Job{
+		Name: "purge-histogram",
+		Map: func(input string, emit func(mapreduce.KV)) error {
+			size, err := strconv.Atoi(input)
+			if err != nil {
+				return fmt.Errorf("bad block record %q: %w", input, err)
+			}
+			emit(mapreduce.KV{Key: pad(size), Value: "1"})
+			return nil
+		},
+		Combine: sumValues,
+		Reduce:  sumValues,
+	}, nil
+}
+
+type purgeKeepParams struct {
+	Max int `json:"max"`
+}
+
+// splitBlockSize decodes a "blockIndex|size" record.
+func splitBlockSize(input string) (bi, size int, err error) {
+	sep := strings.IndexByte(input, '|')
+	if sep < 0 {
+		return 0, 0, fmt.Errorf("bad block record %q", input)
+	}
+	bi, err1 := strconv.Atoi(input[:sep])
+	size, err2 := strconv.Atoi(input[sep+1:])
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad block record %q", input)
+	}
+	return bi, size, nil
+}
+
+func purgeKeepJob(params string) (mapreduce.Job, error) {
+	var p purgeKeepParams
+	if err := json.Unmarshal([]byte(params), &p); err != nil {
+		return mapreduce.Job{}, err
+	}
+	return mapreduce.Job{
+		Name: "purge-keep",
+		Map: func(input string, emit func(mapreduce.KV)) error {
+			bi, size, err := splitBlockSize(input)
+			if err != nil {
+				return err
+			}
+			if size <= p.Max {
+				emit(mapreduce.KV{Key: pad(bi), Value: ""})
+			}
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
+			emit(mapreduce.KV{Key: key, Value: ""})
+			return nil
+		},
+	}, nil
+}
+
+func filterRankJob(string) (mapreduce.Job, error) {
+	return mapreduce.Job{
+		Name: "filter-rank",
+		Map: func(input string, emit func(mapreduce.KV)) error {
+			bi, size, err := splitBlockSize(input)
+			if err != nil {
+				return err
+			}
+			emit(mapreduce.KV{Key: pad(size) + "|" + pad(bi), Value: ""})
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
+			emit(mapreduce.KV{Key: key, Value: ""})
+			return nil
+		},
+	}, nil
+}
+
+// assignInput is one ranked block and its entity placements.
+type assignInput struct {
+	Block    int   `json:"b"`
+	Rank     int   `json:"r"`
+	Entities []int `json:"e"`
+}
+
+type filterAssignParams struct {
+	Ratio float64 `json:"ratio"`
+}
+
+func filterAssignJob(params string) (mapreduce.Job, error) {
+	var p filterAssignParams
+	if err := json.Unmarshal([]byte(params), &p); err != nil {
+		return mapreduce.Job{}, err
+	}
+	return mapreduce.Job{
+		Name: "filter-assign",
+		Map: func(input string, emit func(mapreduce.KV)) error {
+			var rec assignInput
+			if err := json.Unmarshal([]byte(input), &rec); err != nil {
+				return fmt.Errorf("bad block record %q: %w", input, err)
+			}
+			for _, id := range rec.Entities {
+				emit(mapreduce.KV{Key: pad(id), Value: pad(rec.Rank) + "|" + pad(rec.Block)})
+			}
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
+			// Values are "rank|block" with fixed-width ranks: the
+			// shuffle's string sort is the ascending rank order, so the
+			// first ⌈ratio·n⌉ are exactly the blocks the sequential
+			// Filter keeps for this entity.
+			limit := blocking.FilterLimit(p.Ratio, len(values))
+			for _, v := range values[:limit] {
+				sep := strings.IndexByte(v, '|')
+				if sep < 0 {
+					return fmt.Errorf("bad assignment %q", v)
+				}
+				emit(mapreduce.KV{Key: v[sep+1:], Value: key})
+			}
+			return nil
+		},
+	}, nil
+}

@@ -1,15 +1,19 @@
 // Package parblock realizes blocking and meta-blocking as MapReduce
-// jobs on the in-process engine, following the parallel meta-blocking
-// dataflow of the paper's companion work [4] (Efthymiou et al., IEEE
-// Big Data 2015): token blocking as one map/reduce pass, edge
-// weighting with the entity-based strategy (each reducer sees one
-// entity's co-occurrence bag), and node-centric pruning (WNP/CNP) as a
-// further node-keyed pass. Results are identical to the sequential
-// implementations in internal/blocking and internal/metablocking,
-// which the tests assert.
+// jobs, following the parallel meta-blocking dataflow of the paper's
+// companion work [4] (Efthymiou et al., IEEE Big Data 2015): token
+// blocking as one map/reduce pass, edge weighting with the
+// entity-based strategy (each reducer sees one entity's co-occurrence
+// bag), and node-centric pruning (WNP/CNP) as a further node-keyed
+// pass. Each job is registered in the engine's job registry with
+// self-contained inputs (jobs.go), so the same pass runs on in-process
+// goroutines or on `minoaner worker` subprocesses. Results are
+// identical to the sequential implementations in internal/blocking and
+// internal/metablocking, which the tests assert.
 package parblock
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strconv"
@@ -25,36 +29,27 @@ import (
 // TokenBlocking runs schema-agnostic token blocking as a MapReduce
 // job: map emits (token, id) for every token of every description,
 // reduce materializes one block per token, and the driver discards
-// blocks that induce no comparisons.
-func TokenBlocking(src *kb.Collection, opts tokenize.Options, cfg mapreduce.Config) (*blocking.Collection, error) {
+// blocks that induce no comparisons. Tokenization happens driver-side
+// (in parallel, through the collection's warmed cache) so the job's
+// input records are self-contained.
+func TokenBlocking(ctx context.Context, src *kb.Collection, opts tokenize.Options, cfg mapreduce.Config) (*blocking.Collection, error) {
+	toks := src.WarmTokens(opts, cfg.Workers)
 	inputs := make([]string, 0, src.Len())
 	for id := 0; id < src.Len(); id++ {
 		if !src.Alive(id) {
 			continue
 		}
-		inputs = append(inputs, strconv.Itoa(id))
+		rec, err := json.Marshal(tokenInput{ID: id, Tokens: toks[id]})
+		if err != nil {
+			return nil, fmt.Errorf("parblock: encode tokens of %d: %w", id, err)
+		}
+		inputs = append(inputs, string(rec))
 	}
-	job := mapreduce.Job{
-		Name: "token-blocking",
-		Map: func(input string, emit func(mapreduce.KV)) error {
-			id, err := strconv.Atoi(input)
-			if err != nil {
-				return fmt.Errorf("bad input record %q: %w", input, err)
-			}
-			for _, tok := range src.Desc(id).Tokens(opts) {
-				emit(mapreduce.KV{Key: tok, Value: input})
-			}
-			return nil
-		},
-		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
-			if len(values) < 2 {
-				return nil
-			}
-			emit(mapreduce.KV{Key: key, Value: strings.Join(values, ",")})
-			return nil
-		},
+	job, err := mapreduce.NewJob("token-blocking", "")
+	if err != nil {
+		return nil, err
 	}
-	res, err := mapreduce.Run(job, inputs, cfg)
+	res, err := mapreduce.RunContext(ctx, job, inputs, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -108,76 +103,33 @@ func unpad(s string) (int, error) {
 // comparison of every block to its smaller endpoint; that entity's
 // reducer aggregates common-block counts (CBS) and reciprocal block
 // cardinalities (ARCS) per co-occurring entity and emits one record
-// per distinct edge. The driver assembles the graph and applies the
+// per distinct edge. Each block ships with its entities' KB tags, so
+// the worker recomputes comparison counts and cross-KB tests without
+// the collection. The driver assembles the graph and applies the
 // scheme's weight formula through the shared sequential code path.
-func Graph(col *blocking.Collection, scheme metablocking.Scheme, cfg mapreduce.Config) (*metablocking.Graph, error) {
+func Graph(ctx context.Context, col *blocking.Collection, scheme metablocking.Scheme, cfg mapreduce.Config) (*metablocking.Graph, error) {
 	src := col.Source
 	inputs := make([]string, len(col.Blocks))
-	for i := range inputs {
-		inputs[i] = strconv.Itoa(i)
+	for i := range col.Blocks {
+		b := &col.Blocks[i]
+		rec := edgeBlockInput{Entities: b.Entities}
+		if col.CleanClean {
+			rec.KB = make([]int, len(b.Entities))
+			for j, id := range b.Entities {
+				rec.KB[j] = src.KBOf(id)
+			}
+		}
+		enc, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("parblock: encode block %d: %w", i, err)
+		}
+		inputs[i] = string(enc)
 	}
-	job := mapreduce.Job{
-		Name: "edge-weighting",
-		Map: func(input string, emit func(mapreduce.KV)) error {
-			bi, err := strconv.Atoi(input)
-			if err != nil {
-				return fmt.Errorf("bad block record %q: %w", input, err)
-			}
-			b := &col.Blocks[bi]
-			cmp := b.Comparisons(src, col.CleanClean)
-			if cmp == 0 {
-				return nil
-			}
-			inv := strconv.FormatFloat(1/float64(cmp), 'g', 17, 64)
-			for x := 0; x < len(b.Entities); x++ {
-				for y := x + 1; y < len(b.Entities); y++ {
-					a, bb := b.Entities[x], b.Entities[y]
-					if col.CleanClean && !src.CrossKB(a, bb) {
-						continue
-					}
-					if a > bb {
-						a, bb = bb, a
-					}
-					// Entity-based strategy: the smaller endpoint's
-					// reducer owns the edge.
-					emit(mapreduce.KV{Key: pad(a), Value: pad(bb) + ":" + inv})
-				}
-			}
-			return nil
-		},
-		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
-			type acc struct {
-				cbs  int
-				arcs float64
-			}
-			bag := make(map[string]*acc)
-			for _, v := range values {
-				i := strings.IndexByte(v, ':')
-				if i < 0 {
-					return fmt.Errorf("bad co-occurrence record %q", v)
-				}
-				inv, err := strconv.ParseFloat(v[i+1:], 64)
-				if err != nil {
-					return fmt.Errorf("bad weight in %q: %w", v, err)
-				}
-				a := bag[v[:i]]
-				if a == nil {
-					a = &acc{}
-					bag[v[:i]] = a
-				}
-				a.cbs++
-				a.arcs += inv
-			}
-			for mate, a := range bag {
-				emit(mapreduce.KV{
-					Key:   key + "|" + mate,
-					Value: strconv.Itoa(a.cbs) + ":" + strconv.FormatFloat(a.arcs, 'g', 17, 64),
-				})
-			}
-			return nil
-		},
+	job, err := mapreduce.NewJob("edge-weighting", jsonParams(edgeWeightParams{Clean: col.CleanClean}))
+	if err != nil {
+		return nil, err
 	}
-	res, err := mapreduce.Run(job, inputs, cfg)
+	res, err := mapreduce.RunContext(ctx, job, inputs, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +180,7 @@ func splitEdgeKey(key string) (int, int, error) {
 // retained edges; the driver keeps edges retained by either endpoint
 // (or both, when opts.Reciprocal). Results match the sequential
 // Graph.Prune.
-func PruneNodeCentric(g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions, cfg mapreduce.Config) ([]metablocking.Edge, error) {
+func PruneNodeCentric(ctx context.Context, g *metablocking.Graph, alg metablocking.Pruning, opts metablocking.PruneOptions, cfg mapreduce.Config) ([]metablocking.Edge, error) {
 	if alg != metablocking.WNP && alg != metablocking.CNP {
 		return nil, fmt.Errorf("parblock: %v is not node-centric; use the sequential Prune", alg)
 	}
@@ -245,81 +197,11 @@ func PruneNodeCentric(g *metablocking.Graph, alg metablocking.Pruning, opts meta
 			kPerNode = 1
 		}
 	}
-	type edge struct {
-		a, b int
-		w    float64
+	job, err := mapreduce.NewJob("node-pruning", jsonParams(nodePruneParams{Alg: int(alg), KPerNode: kPerNode}))
+	if err != nil {
+		return nil, err
 	}
-	job := mapreduce.Job{
-		Name: "node-pruning",
-		Map: func(input string, emit func(mapreduce.KV)) error {
-			parts := strings.SplitN(input, "|", 3)
-			if len(parts) != 3 {
-				return fmt.Errorf("bad edge record %q", input)
-			}
-			a, err1 := strconv.Atoi(parts[0])
-			b, err2 := strconv.Atoi(parts[1])
-			if err1 != nil || err2 != nil {
-				return fmt.Errorf("bad edge record %q", input)
-			}
-			v := input
-			emit(mapreduce.KV{Key: pad(a), Value: v})
-			emit(mapreduce.KV{Key: pad(b), Value: v})
-			return nil
-		},
-		Reduce: func(key string, values []string, emit func(mapreduce.KV)) error {
-			edges := make([]edge, 0, len(values))
-			sum := 0.0
-			for _, v := range values {
-				parts := strings.SplitN(v, "|", 3)
-				if len(parts) != 3 {
-					return fmt.Errorf("bad incident edge %q", v)
-				}
-				a, err1 := strconv.Atoi(parts[0])
-				b, err2 := strconv.Atoi(parts[1])
-				w, err3 := strconv.ParseFloat(parts[2], 64)
-				if err1 != nil || err2 != nil || err3 != nil {
-					return fmt.Errorf("bad incident edge %q", v)
-				}
-				edges = append(edges, edge{a, b, w})
-				sum += w
-			}
-			var retained []edge
-			switch alg {
-			case metablocking.WNP:
-				mean := sum / float64(len(edges))
-				for _, e := range edges {
-					if e.w >= mean {
-						retained = append(retained, e)
-					}
-				}
-			case metablocking.CNP:
-				// Descending weight, ties by ascending (a,b) — the
-				// sequential tie-break.
-				sort.Slice(edges, func(x, y int) bool {
-					if edges[x].w != edges[y].w {
-						return edges[x].w > edges[y].w
-					}
-					if edges[x].a != edges[y].a {
-						return edges[x].a < edges[y].a
-					}
-					return edges[x].b < edges[y].b
-				})
-				k := kPerNode
-				if k > len(edges) {
-					k = len(edges)
-				}
-				retained = edges[:k]
-			}
-			for _, e := range retained {
-				emit(mapreduce.KV{
-					Key:   pad(e.a) + "|" + pad(e.b),
-					Value: strconv.FormatFloat(e.w, 'g', 17, 64),
-				})
-			}
-			return nil
-		},
-	}
-	res, err := mapreduce.Run(job, inputs, cfg)
+	res, err := mapreduce.RunContext(ctx, job, inputs, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package parblock
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -26,7 +27,7 @@ func TestParallelTokenBlockingMatchesSequential(t *testing.T) {
 	opts := tokenize.Default()
 	seq := blocking.TokenBlocking(w.Collection, opts)
 	for _, workers := range []int{1, 3, 8} {
-		par, err := TokenBlocking(w.Collection, opts, mapreduce.Config{Workers: workers})
+		par, err := TokenBlocking(context.Background(), w.Collection, opts, mapreduce.Config{Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -50,7 +51,7 @@ func TestParallelGraphMatchesSequential(t *testing.T) {
 	col := blocking.TokenBlocking(w.Collection, tokenize.Default())
 	for _, scheme := range metablocking.Schemes() {
 		seq := metablocking.Build(col, scheme)
-		par, err := Graph(col, scheme, mapreduce.Config{Workers: 4})
+		par, err := Graph(context.Background(), col, scheme, mapreduce.Config{Workers: 4})
 		if err != nil {
 			t.Fatalf("%v: %v", scheme, err)
 		}
@@ -79,7 +80,7 @@ func TestParallelPruneMatchesSequential(t *testing.T) {
 			o := opts
 			o.Reciprocal = reciprocal
 			seq := g.Prune(alg, o)
-			par, err := PruneNodeCentric(g, alg, o, mapreduce.Config{Workers: 4})
+			par, err := PruneNodeCentric(context.Background(), g, alg, o, mapreduce.Config{Workers: 4})
 			if err != nil {
 				t.Fatalf("%v reciprocal=%v: %v", alg, reciprocal, err)
 			}
@@ -101,10 +102,10 @@ func TestParallelPruneMatchesSequential(t *testing.T) {
 
 func TestPruneNodeCentricRejectsGlobalAlgs(t *testing.T) {
 	g := &metablocking.Graph{}
-	if _, err := PruneNodeCentric(g, metablocking.WEP, metablocking.PruneOptions{}, mapreduce.Config{}); err == nil {
+	if _, err := PruneNodeCentric(context.Background(), g, metablocking.WEP, metablocking.PruneOptions{}, mapreduce.Config{}); err == nil {
 		t.Error("WEP accepted by node-centric pruner")
 	}
-	if _, err := PruneNodeCentric(g, metablocking.CEP, metablocking.PruneOptions{}, mapreduce.Config{}); err == nil {
+	if _, err := PruneNodeCentric(context.Background(), g, metablocking.CEP, metablocking.PruneOptions{}, mapreduce.Config{}); err == nil {
 		t.Error("CEP accepted by node-centric pruner")
 	}
 }
@@ -114,11 +115,11 @@ func TestWorkerCountsAgree(t *testing.T) {
 	col := blocking.TokenBlocking(w.Collection, tokenize.Default())
 	var base []metablocking.Edge
 	for _, workers := range []int{1, 2, 4} {
-		g, err := Graph(col, metablocking.JS, mapreduce.Config{Workers: workers})
+		g, err := Graph(context.Background(), col, metablocking.JS, mapreduce.Config{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
-		kept, err := PruneNodeCentric(g, metablocking.WNP, metablocking.PruneOptions{}, mapreduce.Config{Workers: workers})
+		kept, err := PruneNodeCentric(context.Background(), g, metablocking.WNP, metablocking.PruneOptions{}, mapreduce.Config{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,17 @@
+package server
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/mapreduce"
+)
+
+// TestMain doubles this test binary as a MapReduce worker so sessions
+// built on the proc runner (MINOANER_MR_RUNNER=proc in CI) can spawn
+// workers; without the hook a spawned worker would recursively run the
+// test suite.
+func TestMain(m *testing.M) {
+	mapreduce.InitTestWorker()
+	os.Exit(m.Run())
+}

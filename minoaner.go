@@ -33,6 +33,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/kb"
+	"repro/internal/mapreduce"
 	"repro/internal/match"
 	"repro/internal/metablocking"
 	"repro/internal/parmeta"
@@ -206,6 +207,13 @@ type Config struct {
 	// cross-engine differential tests. Results are identical on every
 	// engine.
 	MapReduce bool
+	// MRRunner selects where the MapReduce engine's tasks execute: ""
+	// or "local" runs them on in-process goroutines (the single-node
+	// fast path); "proc" dispatches them to a pool of `minoaner worker`
+	// subprocesses over the framed stdin/stdout protocol — the
+	// two-process scale-out proof. Results are bit-identical across
+	// runners. Ignored unless the MapReduce engine is selected.
+	MRRunner string
 	// WALFsync selects the fsync policy of a write-ahead-logged
 	// pipeline (one constructed with Open): FsyncWave — the default —
 	// defers the disk sync to SyncWAL, which the server calls once per
@@ -271,8 +279,11 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 // The MINOANER_STORE environment variable, when set, routes the
 // returned config through that store mode ("mem", "disk-temp") — how
 // CI's disk leg runs the entire differential suite cold-store-backed
-// without touching any call site. Callers that need a specific mode
-// set Config.Store explicitly after Defaults and are unaffected.
+// without touching any call site. MINOANER_MR_RUNNER does the same for
+// the MapReduce runner ("local", "proc"): CI's proc leg re-proves the
+// differential surface with dataflow tasks crossing a process
+// boundary. Callers that need a specific mode set Config.Store /
+// Config.MRRunner explicitly after Defaults and are unaffected.
 func Defaults() Config {
 	return Config{
 		Tokenize:    tokenize.Default(),
@@ -282,6 +293,7 @@ func Defaults() Config {
 		Match:       match.DefaultOptions(),
 		Benefit:     AttributeCompleteness,
 		Store:       os.Getenv("MINOANER_STORE"),
+		MRRunner:    os.Getenv("MINOANER_MR_RUNNER"),
 	}
 }
 
@@ -380,6 +392,14 @@ type Pipeline struct {
 	// honors; tests use it to exercise the boundary without allocating
 	// gigabyte payloads. 0 means the real wal.MaxPayload.
 	testPayloadCap int
+	// mrProc is the shared worker-subprocess pool of a "proc" MRRunner,
+	// created lazily by engine() and reused across sessions and
+	// compaction epochs; Close reaps it. Nil for other runners.
+	mrProc *mapreduce.ProcRunner
+	// mrTotals accumulates the MapReduce engine's job counters across
+	// the pipeline's lifetime — the source of the mrRetries and
+	// mrShuffleBytes gauges. Created with the first MapReduce engine.
+	mrTotals *mapreduce.Counters
 }
 
 // New returns an empty pipeline with the given configuration.
@@ -443,6 +463,12 @@ func (p *Pipeline) Close() error {
 	var err error
 	if p.wal != nil {
 		err = p.wal.Close()
+	}
+	if p.mrProc != nil {
+		if merr := p.mrProc.Close(); err == nil {
+			err = merr
+		}
+		p.mrProc = nil
 	}
 	if p.store != nil {
 		if serr := p.store.Close(); err == nil {
@@ -882,14 +908,17 @@ func (p *Pipeline) ResolveBudget(budget int) (*Result, error) {
 	return p.ResolveContext(context.Background(), budget)
 }
 
-// ResolveContext is ResolveBudget with cancellation: Start runs to
-// completion (the front end is not interruptible), then the matching
-// loop honors ctx between comparisons via Session.ResumeContext. On
-// cancellation it returns the partial cumulative result together with
-// ctx.Err(); the session it started remains the pipeline's current one,
-// so a later Start or streaming call continues normally.
+// ResolveContext is ResolveBudget with cancellation: on the MapReduce
+// engine the front end itself honors ctx (an in-flight dataflow pass
+// stops and Start returns the cancellation without creating a
+// session); on the other engines Start runs to completion. The
+// matching loop then honors ctx between comparisons via
+// Session.ResumeContext. On cancellation mid-matching it returns the
+// partial cumulative result together with ctx.Err(); the session it
+// started remains the pipeline's current one, so a later Start or
+// streaming call continues normally.
 func (p *Pipeline) ResolveContext(ctx context.Context, budget int) (*Result, error) {
-	s, err := p.Start()
+	s, err := p.StartContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -941,6 +970,56 @@ type Session struct {
 	// synchronization (see syncFront): every later mutation and Resume
 	// returns it. It wraps ErrDesynced and the first cause.
 	desynced error
+	// opCtx is the context of the in-flight mutation (set by the
+	// *Context entry points for the duration of the call): on the
+	// MapReduce engine, syncFront's dataflow passes run under it, so
+	// cancelling stops the pass. Like every Session field it is
+	// single-writer — mutations must not race.
+	opCtx context.Context
+}
+
+// opContext returns the in-flight mutation's context.
+func (s *Session) opContext() context.Context {
+	if s.opCtx != nil {
+		return s.opCtx
+	}
+	return context.Background()
+}
+
+// withOpCtx runs fn with ctx attached as the session's mutation
+// context, so the dataflow passes inside fn honor its cancellation.
+func (s *Session) withOpCtx(ctx context.Context, fn func() error) error {
+	s.opCtx = ctx
+	defer func() { s.opCtx = nil }()
+	return fn()
+}
+
+// IngestContext is Ingest with cancellation: on the MapReduce engine a
+// cancelled ctx stops the in-flight dataflow pass. Cancellation
+// mid-pass leaves state the pass cannot reconcile, so it poisons the
+// session exactly like any other mid-pass failure (the returned error
+// wraps both ErrDesynced and ctx.Err()); cancellation before the pass
+// commits anything returns cleanly.
+func (s *Session) IngestContext(ctx context.Context, batch []Description) error {
+	return s.withOpCtx(ctx, func() error { return s.Ingest(batch) })
+}
+
+// EvictContext is Evict with cancellation, with IngestContext's
+// semantics.
+func (s *Session) EvictContext(ctx context.Context, refs []Ref) error {
+	return s.withOpCtx(ctx, func() error { return s.Evict(refs) })
+}
+
+// EvictKBContext is EvictKB with cancellation, with IngestContext's
+// semantics.
+func (s *Session) EvictKBContext(ctx context.Context, name string) error {
+	return s.withOpCtx(ctx, func() error { return s.EvictKB(name) })
+}
+
+// IngestKBContext is IngestKB with cancellation, with IngestContext's
+// semantics.
+func (s *Session) IngestKBContext(ctx context.Context, name string, r io.Reader) error {
+	return s.withOpCtx(ctx, func() error { return s.IngestKB(name, r) })
 }
 
 // Timings reports cumulative wall-clock time per pipeline stage of one
@@ -985,12 +1064,55 @@ func (s *Session) Timings() Timings {
 // committer replays the exact sequential schedule. The results are
 // bit-identical whichever engine runs and whatever the worker count.
 func (p *Pipeline) Start() (*Session, error) {
+	return p.StartContext(context.Background())
+}
+
+// engine resolves the pipeline's engine: pipeline.Select picks the
+// dispatch layer from Workers/MapReduce, then — when the MapReduce
+// engine is selected — Config.MRRunner picks where its tasks execute
+// and the pipeline's lifetime counters are attached. The "proc" worker
+// pool is created once and shared by every session and compaction
+// epoch; Close reaps it.
+func (p *Pipeline) engine() (pipeline.Engine, error) {
+	switch p.cfg.MRRunner {
+	case "", "local", "proc":
+	default:
+		return nil, fmt.Errorf("minoaner: unknown MapReduce runner %q (want \"\", \"local\", or \"proc\")", p.cfg.MRRunner)
+	}
+	eng := pipeline.Select(p.cfg.Workers, p.cfg.MapReduce)
+	mr, ok := eng.(pipeline.MapReduce)
+	if !ok {
+		return eng, nil
+	}
+	if p.mrTotals == nil {
+		p.mrTotals = &mapreduce.Counters{}
+	}
+	mr.Totals = p.mrTotals
+	if p.cfg.MRRunner == "proc" {
+		if p.mrProc == nil {
+			p.mrProc = mapreduce.NewProcRunner()
+		}
+		mr.Runner = p.mrProc
+	}
+	return mr, nil
+}
+
+// StartContext is Start with cancellation: on the MapReduce engine the
+// front-end dataflow honors ctx — a cancelled pass stops at the next
+// task-record boundary and StartContext returns the cancellation with
+// no session created and the pipeline unchanged. The session itself
+// keeps the engine without the context; later mutations attach their
+// own.
+func (p *Pipeline) StartContext(ctx context.Context) (*Session, error) {
 	if p.col.NumAlive() == 0 {
 		return nil, fmt.Errorf("minoaner: no descriptions loaded")
 	}
-	eng := pipeline.Select(p.cfg.Workers, p.cfg.MapReduce)
+	eng, err := p.engine()
+	if err != nil {
+		return nil, err
+	}
 	tStart := time.Now()
-	fstate, err := pipeline.Start(eng, p.col, p.pipelineOptions())
+	fstate, err := pipeline.Start(pipeline.WithContext(eng, ctx), p.col, p.pipelineOptions())
 	if err != nil {
 		return nil, fmt.Errorf("minoaner: %w", err)
 	}
@@ -1476,9 +1598,12 @@ func (s *Session) syncFront() error {
 		return s.desynced
 	}
 	t0 := time.Now()
+	// The mutation's context rides the engine into the dataflow passes;
+	// on non-MapReduce engines WithContext is the identity.
+	eng := pipeline.WithContext(s.eng, s.opContext())
 	ingested := false
 	if s.fstate.PendingIngest() {
-		if err := s.eng.Ingest(s.fstate); err != nil {
+		if err := eng.Ingest(s.fstate); err != nil {
 			return s.poison(fmt.Errorf("minoaner: %w", err))
 		}
 		if err := s.p.col.ColdErr(); err != nil {
@@ -1492,7 +1617,7 @@ func (s *Session) syncFront() error {
 	s.expireTTL()
 	evicted := false
 	if s.fstate.PendingEvictions() {
-		if err := s.eng.Evict(s.fstate); err != nil {
+		if err := eng.Evict(s.fstate); err != nil {
 			return s.poison(fmt.Errorf("minoaner: %w", err))
 		}
 		if err := s.p.col.ColdErr(); err != nil {
@@ -1586,6 +1711,16 @@ type Gauges struct {
 	StoreKeys          int64 `json:"storeKeys,omitempty"`
 	StoreCacheHits     int64 `json:"storeCacheHits,omitempty"`
 	StoreCacheMisses   int64 `json:"storeCacheMisses,omitempty"`
+	// MapReduce-engine gauges, zero (and omitted from JSON) unless the
+	// MapReduce engine has run: worker subprocesses spawned by the
+	// "proc" runner (cumulative — stable against idle reaping; zero on
+	// the in-process runner), task re-dispatches after worker failures,
+	// and the key+value bytes that crossed the map→reduce shuffle
+	// boundary across every job — the wire traffic a distributed
+	// shuffle would carry.
+	MRWorkers      int64 `json:"mrWorkers,omitempty"`
+	MRRetries      int64 `json:"mrRetries,omitempty"`
+	MRShuffleBytes int64 `json:"mrShuffleBytes,omitempty"`
 }
 
 // Gauges returns the session's current memory gauges. Like every
@@ -1612,6 +1747,13 @@ func (s *Session) Gauges() Gauges {
 		dh, dm := s.p.col.CacheStats()
 		ph, pm := s.fstate.CacheStats()
 		g.StoreCacheHits, g.StoreCacheMisses = dh+ph, dm+pm
+	}
+	if t := s.p.mrTotals; t != nil {
+		g.MRRetries = t.Get("task.retries")
+		g.MRShuffleBytes = t.Get("shuffle.bytes")
+	}
+	if pr := s.p.mrProc; pr != nil {
+		g.MRWorkers = pr.Spawned()
 	}
 	return g
 }

@@ -1,0 +1,18 @@
+package minoaner_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/mapreduce"
+)
+
+// TestMain doubles this test binary as a MapReduce worker: a spawned
+// copy (the proc runner's subprocess) serves the task protocol instead
+// of re-running the suite, and the parent points the runner's worker
+// command at itself. Every proc-runner pipeline in the suite — the
+// differential matrix above all — depends on this hook.
+func TestMain(m *testing.M) {
+	mapreduce.InitTestWorker()
+	os.Exit(m.Run())
+}
